@@ -1,0 +1,75 @@
+// Bandwidth sweep: streaming throughput per NIC preset and with multirail
+// striping. Complements the latency-centric paper figures with the other
+// half of the classic characterization.
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+
+using namespace pm2;
+
+namespace {
+
+double stream_gbps(const std::vector<net::NicParams>& rails,
+                   nm::StrategyKind strategy, std::size_t msg, int count) {
+  nm::ClusterConfig cfg;
+  cfg.rails = rails;
+  cfg.nm.strategy = strategy;
+  nm::Cluster world(cfg);
+  double gbps = 0;
+  world.spawn(0, [&world, msg, count] {
+    nm::Core& c = world.core(0);
+    static std::vector<std::uint8_t> data;
+    data.assign(msg, 0x55);
+    // Window of 4 outstanding sends keeps the pipe full.
+    std::deque<nm::Request*> window;
+    for (int i = 0; i < count; ++i) {
+      window.push_back(c.isend(world.gate(0, 1), 1, data.data(), data.size()));
+      if (window.size() >= 4) {
+        c.wait(window.front());
+        c.release(window.front());
+        window.pop_front();
+      }
+    }
+    while (!window.empty()) {
+      c.wait(window.front());
+      c.release(window.front());
+      window.pop_front();
+    }
+  });
+  world.spawn(1, [&world, msg, count, &gbps] {
+    nm::Core& c = world.core(1);
+    std::vector<std::uint8_t> buf(msg);
+    const sim::Time t0 = world.engine().now();
+    for (int i = 0; i < count; ++i) {
+      c.recv(world.gate(1, 0), 1, buf.data(), buf.size());
+    }
+    const sim::Time dt = world.engine().now() - t0;
+    gbps = static_cast<double>(msg) * count / sim::to_sec(dt) / 1e9;
+  });
+  world.run();
+  return gbps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Streaming bandwidth (GB/s), window of 4 outstanding sends\n\n");
+  std::printf("%-10s %12s %12s %12s %16s\n", "size", "myri-10g", "ib-ddr",
+              "tcp-gige", "myri+ib (split)");
+  const auto mx = net::NicParams::myri10g();
+  const auto ib = net::NicParams::connectx_ib();
+  const auto tcp = net::NicParams::tcp_gige();
+  for (std::size_t msg = 4096; msg <= 1 << 20; msg *= 4) {
+    const int count = msg >= (1 << 18) ? 16 : 64;
+    std::printf("%-10zu %12.3f %12.3f %12.3f %16.3f\n", msg,
+                stream_gbps({mx}, nm::StrategyKind::kAggreg, msg, count),
+                stream_gbps({ib}, nm::StrategyKind::kAggreg, msg, count),
+                stream_gbps({tcp}, nm::StrategyKind::kAggreg, msg, count / 4),
+                stream_gbps({mx, ib}, nm::StrategyKind::kSplit, msg, count));
+  }
+  std::printf("\nwire limits: myri-10g 1.25 GB/s, ib-ddr ~1.8 GB/s, "
+              "tcp-gige 0.125 GB/s\n");
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "bench/common/harness.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "simcore/stats.hpp"
+
+namespace pm2::bench {
+
+std::vector<std::size_t> small_sizes() {
+  std::vector<std::size_t> s;
+  for (std::size_t n = 1; n <= 2048; n *= 2) s.push_back(n);
+  return s;
+}
+
+std::vector<std::size_t> overlap_sizes() {
+  std::vector<std::size_t> s;
+  for (std::size_t n = 2048; n <= 32768; n *= 2) s.push_back(n);
+  return s;
+}
+
+namespace {
+
+std::vector<std::uint8_t> make_pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+/// One pingpong stream at one size; returns the median one-way latency (us).
+double run_stream_size(const nm::ClusterConfig& cfg, std::size_t size,
+                       const PingpongOptions& opt, int stream,
+                       int total_streams) {
+  nm::Cluster world(cfg);
+  const nm::Tag tag_ping = 1000 + static_cast<nm::Tag>(stream);
+  const nm::Tag tag_pong = 2000 + static_cast<nm::Tag>(stream);
+  sim::SampleSet samples;
+
+  if (opt.poll_threads) {
+    world.core(0).start_poll_thread();
+    world.core(1).start_poll_thread();
+  }
+
+  const int iters = opt.iters;
+  const int warmup = opt.warmup;
+  const int app_core = opt.app_core;
+  (void)total_streams;
+
+  world.spawn(0, [&, size] {
+    nm::Core& c = world.core(0);
+    nm::Gate* g = world.gate(0, 1);
+    auto msg = make_pattern(size, 3);
+    std::vector<std::uint8_t> back(size);
+    auto& sched = world.sched(0);
+    for (int i = 0; i < warmup + iters; ++i) {
+      const sim::Time t0 = world.engine().now();
+      nm::Request* rr = c.irecv(g, tag_pong, back.data(), back.size());
+      nm::Request* sr = c.isend(g, tag_ping, msg.data(), msg.size());
+      if (opt.compute_phase > 0) sched.work(opt.compute_phase);
+      c.wait(rr);
+      c.wait(sr);
+      c.release(rr);
+      c.release(sr);
+      const sim::Time t1 = world.engine().now();
+      if (i >= warmup) samples.add(sim::to_us(t1 - t0) / 2.0);
+    }
+    if (opt.poll_threads) world.core(0).stop_poll_thread();
+  }, "ping", app_core);
+
+  world.spawn(1, [&, size] {
+    nm::Core& c = world.core(1);
+    nm::Gate* g = world.gate(1, 0);
+    std::vector<std::uint8_t> buf(size);
+    auto& sched = world.sched(1);
+    for (int i = 0; i < warmup + iters; ++i) {
+      nm::Request* rr = c.irecv(g, tag_ping, buf.data(), buf.size());
+      c.wait(rr);
+      c.release(rr);
+      nm::Request* sr = c.isend(g, tag_pong, buf.data(), buf.size());
+      // Mirror structure: the compute phase sits between isend and wait.
+      if (opt.compute_phase > 0) sched.work(opt.compute_phase);
+      c.wait(sr);
+      c.release(sr);
+    }
+    if (opt.poll_threads) world.core(1).stop_poll_thread();
+  }, "pong", app_core);
+
+  world.run();
+  return samples.median();
+}
+
+/// Multi-stream run (Fig. 5): all streams share one cluster; stream k's
+/// threads bind to core app_core + k on each node.
+std::vector<double> run_streams_size(const nm::ClusterConfig& cfg,
+                                     std::size_t size,
+                                     const PingpongOptions& opt) {
+  nm::Cluster world(cfg);
+  std::vector<sim::SampleSet> samples(static_cast<std::size_t>(opt.streams));
+
+  for (int s = 0; s < opt.streams; ++s) {
+    const nm::Tag tag_ping = 1000 + static_cast<nm::Tag>(s);
+    const nm::Tag tag_pong = 2000 + static_cast<nm::Tag>(s);
+    const int core = opt.app_core + s;
+
+    // Blocking send/recv, as in a classic threaded pingpong: the receive is
+    // posted inside the timed visit, so under coarse locking a thread's
+    // whole round trip keeps the other thread out of the library -- the
+    // serialization Fig. 5 demonstrates.
+    world.spawn(0, [&world, &samples, size, s, tag_ping, tag_pong, &opt] {
+      nm::Core& c = world.core(0);
+      nm::Gate* g = world.gate(0, 1);
+      auto msg = make_pattern(size, static_cast<std::uint8_t>(s));
+      std::vector<std::uint8_t> back(size);
+      for (int i = 0; i < opt.warmup + opt.iters; ++i) {
+        const sim::Time t0 = world.engine().now();
+        c.send(g, tag_ping, msg.data(), msg.size());
+        c.recv(g, tag_pong, back.data(), back.size());
+        const sim::Time t1 = world.engine().now();
+        if (i >= opt.warmup) {
+          samples[static_cast<std::size_t>(s)].add(sim::to_us(t1 - t0) / 2.0);
+        }
+      }
+    }, "ping" + std::to_string(s), core);
+
+    world.spawn(1, [&world, size, tag_ping, tag_pong, &opt] {
+      nm::Core& c = world.core(1);
+      nm::Gate* g = world.gate(1, 0);
+      std::vector<std::uint8_t> buf(size);
+      for (int i = 0; i < opt.warmup + opt.iters; ++i) {
+        c.recv(g, tag_ping, buf.data(), buf.size());
+        c.send(g, tag_pong, buf.data(), buf.size());
+      }
+    }, "pong" + std::to_string(s), core);
+  }
+
+  world.run();
+  std::vector<double> medians;
+  for (auto& s : samples) medians.push_back(s.median());
+  return medians;
+}
+
+}  // namespace
+
+Series run_pingpong(const std::string& label, const nm::ClusterConfig& cfg,
+                    const std::vector<std::size_t>& sizes,
+                    const PingpongOptions& opt) {
+  Series out;
+  out.label = label;
+  out.per_stream_us.resize(static_cast<std::size_t>(opt.streams));
+  for (std::size_t size : sizes) {
+    if (opt.streams == 1) {
+      const double us = run_stream_size(cfg, size, opt, 0, 1);
+      out.latency_us.push_back(us);
+      out.per_stream_us[0].push_back(us);
+    } else {
+      const auto per = run_streams_size(cfg, size, opt);
+      double sum = 0;
+      for (int s = 0; s < opt.streams; ++s) {
+        out.per_stream_us[static_cast<std::size_t>(s)].push_back(
+            per[static_cast<std::size_t>(s)]);
+        sum += per[static_cast<std::size_t>(s)];
+      }
+      out.latency_us.push_back(sum / opt.streams);
+    }
+  }
+  return out;
+}
+
+void print_table(const std::string& title, const std::vector<std::size_t>& sizes,
+                 const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-10s", "size(B)");
+  for (const auto& s : series) std::printf("  %22s", s.label.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%-10zu", sizes[i]);
+    for (const auto& s : series) std::printf("  %19.3f us", s.latency_us[i]);
+    std::printf("\n");
+  }
+}
+
+void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
+               const std::vector<Series>& series) {
+  if (path.empty()) return;
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open csv path: " + path);
+  f << "size_bytes";
+  for (const auto& s : series) f << "," << s.label;
+  f << "\n";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    f << sizes[i];
+    for (const auto& s : series) f << "," << s.latency_us[i];
+    f << "\n";
+  }
+  std::printf("csv written: %s\n", path.c_str());
+}
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--iters=", 8) == 0) {
+      args.iters = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--warmup=", 9) == 0) {
+      args.warmup = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--csv=", 6) == 0) {
+      args.csv = a + 6;
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", a);
+    }
+  }
+  return args;
+}
+
+}  // namespace pm2::bench

@@ -1,0 +1,68 @@
+// pm2sim -- shared benchmark harness.
+//
+// Reproduces the paper's measurement methodology: pingpong tests between
+// two nodes, reporting one-way latency (half the round-trip) per message
+// size, median over many iterations on the deterministic virtual clock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::bench {
+
+/// Message sizes used by Figs. 3/5/6/7/8: 1 B .. 2 KB, powers of two.
+std::vector<std::size_t> small_sizes();
+
+/// Fig. 9 sizes: 2 KB .. 32 KB.
+std::vector<std::size_t> overlap_sizes();
+
+struct PingpongOptions {
+  int iters = 200;
+  int warmup = 20;
+  /// Core the application thread binds to on both nodes (-1 = unbound).
+  int app_core = 0;
+  /// Spawn dedicated progression threads (ProgressMode::kPollThread).
+  bool poll_threads = false;
+  /// Virtual compute time inserted between isend and wait (Fig. 9).
+  sim::Time compute_phase = 0;
+  /// Number of concurrent pingpong thread pairs (Fig. 5); threads are bound
+  /// to cores app_core, app_core+1, ...
+  int streams = 1;
+};
+
+struct Series {
+  std::string label;
+  /// Median one-way latency in microseconds, one entry per size; for
+  /// multi-stream runs, per-stream medians are averaged.
+  std::vector<double> latency_us;
+  /// Per-stream medians (streams x sizes), for Fig. 5-style reporting.
+  std::vector<std::vector<double>> per_stream_us;
+};
+
+/// Run a pingpong sweep over @p sizes with the given cluster config.
+Series run_pingpong(const std::string& label, const nm::ClusterConfig& cfg,
+                    const std::vector<std::size_t>& sizes,
+                    const PingpongOptions& opt);
+
+/// Print a paper-style table: size column + one column per series.
+void print_table(const std::string& title, const std::vector<std::size_t>& sizes,
+                 const std::vector<Series>& series);
+
+/// Write the same data as CSV to @p path (empty = skip).
+void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
+               const std::vector<Series>& series);
+
+/// Tiny argv parser shared by the figure benches: recognizes
+/// --iters=N, --warmup=N, --csv=PATH.
+struct BenchArgs {
+  int iters = 200;
+  int warmup = 20;
+  std::string csv;
+};
+BenchArgs parse_args(int argc, char** argv);
+
+}  // namespace pm2::bench

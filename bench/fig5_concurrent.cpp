@@ -1,0 +1,64 @@
+// Fig. 5 -- "Two threads perform concurrently pingpong programs".
+//
+// Two threads on each node run independent pingpong streams (distinct tags)
+// over the same NIC. Paper result: with coarse-grain locking each stream
+// sees roughly TWICE the single-thread latency (communication is fully
+// serialized by the library-wide lock); fine-grain locking performs
+// markedly better, though still above single-thread latency (NIC sharing
+// and residual lock contention).
+#include <cstdio>
+
+#include "bench/common/harness.hpp"
+
+using namespace pm2;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const auto sizes = bench::small_sizes();
+
+  bench::PingpongOptions single;
+  single.iters = args.iters;
+  single.warmup = args.warmup;
+
+  nm::ClusterConfig fine;
+  fine.nm.lock = nm::LockMode::kFine;
+  nm::ClusterConfig coarse;
+  coarse.nm.lock = nm::LockMode::kCoarse;
+
+  std::vector<bench::Series> series;
+  series.push_back(bench::run_pingpong("1 thread", fine, sizes, single));
+
+  bench::PingpongOptions dual = single;
+  dual.streams = 2;
+
+  bench::Series f2 = bench::run_pingpong("fine x2", fine, sizes, dual);
+  bench::Series c2 = bench::run_pingpong("coarse x2", coarse, sizes, dual);
+
+  auto stream_series = [](const bench::Series& s, int k, std::string label) {
+    bench::Series out;
+    out.label = std::move(label);
+    out.latency_us = s.per_stream_us[static_cast<std::size_t>(k)];
+    return out;
+  };
+  series.push_back(stream_series(f2, 0, "fine (thread 1)"));
+  series.push_back(stream_series(f2, 1, "fine (thread 2)"));
+  series.push_back(stream_series(c2, 0, "coarse (thread 1)"));
+  series.push_back(stream_series(c2, 1, "coarse (thread 2)"));
+
+  bench::print_table(
+      "Fig. 5: two concurrent pingpong threads (one-way latency, us)", sizes,
+      series);
+
+  std::printf("\nratio vs 1 thread:\n%-10s  %10s  %10s\n", "size(B)", "fine",
+              "coarse");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%-10zu  %10.2f  %10.2f\n", sizes[i],
+                f2.latency_us[i] / series[0].latency_us[i],
+                c2.latency_us[i] / series[0].latency_us[i]);
+  }
+  std::printf("\npaper: coarse ~= 2x single-thread latency (serialized); "
+              "fine markedly better but above 1x\n");
+
+  bench::write_csv(args.csv, sizes, series);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Host-side microbenchmarks (google-benchmark): how fast the simulator
+// itself runs. These measure wall-clock throughput of the substrate, not
+// virtual-time results -- useful for keeping the simulator usable as the
+// library grows.
+#include <benchmark/benchmark.h>
+
+#include "nmad/cluster.hpp"
+#include "simcore/engine.hpp"
+#include "simthread/fiber.hpp"
+
+using namespace pm2;
+
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(i, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  mth::Fiber* self = nullptr;
+  bool stop = false;
+  mth::Fiber fiber(
+      [&] {
+        while (!stop) self->suspend();
+      },
+      64 * 1024);
+  self = &fiber;
+  for (auto _ : state) {
+    fiber.resume();
+  }
+  stop = true;
+  fiber.resume();
+  state.SetItemsProcessed(state.iterations() * 2);  // two switches per resume
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_CancelledEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventHandle> handles;
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(engine.schedule_at(i, [] {}));
+    }
+    for (auto& h : handles) engine.cancel(h);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CancelledEvents);
+
+void BM_PingpongEndToEnd(benchmark::State& state) {
+  // Whole-stack host cost: one 64 B pingpong iteration (two nodes, fine
+  // locking, busy waiting).
+  const std::size_t kIters = 64;
+  for (auto _ : state) {
+    nm::ClusterConfig cfg;
+    nm::Cluster world(cfg);
+    world.spawn(0, [&world] {
+      auto& c = world.core(0);
+      auto* g = world.gate(0, 1);
+      std::vector<std::uint8_t> m(64), b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.send(g, 1, m.data(), m.size());
+        c.recv(g, 2, b.data(), b.size());
+      }
+    });
+    world.spawn(1, [&world] {
+      auto& c = world.core(1);
+      auto* g = world.gate(1, 0);
+      std::vector<std::uint8_t> b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.recv(g, 1, b.data(), b.size());
+        c.send(g, 2, b.data(), b.size());
+      }
+    });
+    world.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kIters);
+}
+BENCHMARK(BM_PingpongEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Sec. 3.3 prose claim -- "on a 4-core machine, dedicating one core to
+// communication leads to up to 25 % decrease of the computation power".
+//
+// Four configurations on a quad-core node, each measuring the aggregate
+// compute work the node completes in a fixed window:
+//   a) 4 compute workers, no polling          (baseline)
+//   b) 3 compute workers + 1 busy poller      (dedicated polling core)
+//   c) 4 compute workers + 1 busy poller      (poller timeshares a core)
+//   d) 4 compute workers, PIOMan idle hooks   (polling only on spare cycles)
+#include <cstdio>
+
+#include "simmachine/machine.hpp"
+#include "simthread/scheduler.hpp"
+
+using namespace pm2;
+
+namespace {
+
+constexpr sim::Time kWindow = sim::milliseconds(50);
+constexpr sim::Time kQuantum = sim::microseconds(10);
+
+struct Result {
+  double work_units = 0;  // completed compute quanta
+};
+
+Result run(int workers, bool poller, bool idle_hooks) {
+  sim::Engine engine;
+  mach::Machine machine(engine, "node", mach::CacheTopology::quad_core(),
+                        mach::CostBook::xeon_quad());
+  mth::Scheduler sched(machine);
+  long completed = 0;
+
+  if (idle_hooks) {
+    // A PIOMan-style hook that always has something to poll.
+    sched.add_idle_hook(mth::Hook{
+        .run = [](mth::HookContext& hctx) { hctx.charge(100); },
+        .want = [](int) { return true; },
+    });
+  }
+
+  for (int w = 0; w < workers; ++w) {
+    mth::ThreadAttrs attrs;
+    attrs.name = "worker" + std::to_string(w);
+    attrs.bind_core = w % 4;
+    sched.spawn(
+        [&engine, &sched, &completed] {
+          while (engine.now() < kWindow) {
+            sched.work(kQuantum);
+            ++completed;
+          }
+        },
+        attrs);
+  }
+  if (poller) {
+    mth::ThreadAttrs attrs;
+    attrs.name = "poller";
+    attrs.bind_core = 3;
+    sched.spawn(
+        [&engine, &sched] {
+          while (engine.now() < kWindow) {
+            sched.work(100);  // tight polling loop
+          }
+        },
+        attrs);
+  }
+  engine.run();
+  return Result{static_cast<double>(completed)};
+}
+
+}  // namespace
+
+int main() {
+  const Result baseline = run(4, false, false);
+  const Result dedicated = run(3, true, false);
+  const Result shared = run(4, true, false);
+  const Result hooks = run(4, false, true);
+
+  auto report = [&](const char* label, const Result& r) {
+    std::printf("%-42s %10.0f  %+7.1f%%\n", label, r.work_units,
+                (r.work_units - baseline.work_units) / baseline.work_units *
+                    100.0);
+  };
+  std::printf("Sec. 3.3: compute work completed in a %s window "
+              "(quad-core)\n\n",
+              sim::format_time(kWindow).c_str());
+  std::printf("%-42s %10s  %8s\n", "configuration", "quanta", "vs base");
+  report("4 workers (baseline)", baseline);
+  report("3 workers + dedicated polling core", dedicated);
+  report("4 workers + poller timesharing core 3", shared);
+  report("4 workers + PIOMan idle hooks", hooks);
+  std::printf("\npaper: dedicating 1 of 4 cores to communication costs up "
+              "to 25%% of compute power;\nPIOMan's hook approach polls only "
+              "on cycles the application does not use\n");
+  return 0;
+}

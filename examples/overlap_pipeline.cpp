@@ -1,0 +1,108 @@
+// Communication/computation overlap with background progression.
+//
+// The paper's Sec. 4.1 point: non-blocking primitives only overlap if
+// *something* makes them progress while the application computes. This
+// example streams large (rendezvous) blocks through a two-stage pipeline
+// and compares:
+//   a) app-driven progression -- the rendezvous handshake stalls until the
+//      application re-enters the library, so overlap is poor;
+//   b) PIOMan hooks -- idle cores answer the handshake in the background,
+//      overlapping the transfer with the computation.
+#include <cstdio>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+
+using namespace pm2;
+
+namespace {
+
+constexpr std::size_t kBlock = 256 * 1024;  // rendezvous territory
+constexpr int kBlocks = 16;
+constexpr sim::Time kComputePerBlock = sim::microseconds(200);
+
+double run_pipeline(nm::ProgressMode progress) {
+  nm::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.nm.lock = nm::LockMode::kFine;
+  cfg.nm.progress = progress;
+
+  nm::Cluster world(cfg);
+  double elapsed_ms = 0;
+
+  // Producer: sends block i, then "post-processes" (computes) while the
+  // next transfer should progress in the background.
+  world.spawn(0, [&world, &elapsed_ms] {
+    nm::Core& core = world.core(0);
+    nm::Gate* g = world.gate(0, 1);
+    auto& sched = world.sched(0);
+    std::vector<std::uint8_t> block(kBlock, 0x5A);
+
+    const sim::Time t0 = world.engine().now();
+    nm::Request* inflight = nullptr;
+    for (int i = 0; i < kBlocks; ++i) {
+      nm::Request* sr = core.isend(g, 100 + static_cast<nm::Tag>(i),
+                                   block.data(), block.size());
+      // Compute on the previous block while this one flies.
+      sched.work(kComputePerBlock);
+      if (inflight != nullptr) {
+        core.wait(inflight);
+        core.release(inflight);
+      }
+      inflight = sr;
+    }
+    core.wait(inflight);
+    core.release(inflight);
+    // Wait for the consumer's final ack.
+    std::uint8_t ack = 0;
+    core.recv(g, 999, &ack, 1);
+    elapsed_ms = sim::to_us(world.engine().now() - t0) / 1000.0;
+  }, "producer", 0);
+
+  // Consumer: double-buffered receives. The NEXT block's receive is posted
+  // before computing on the current one, so the rendezvous announcement
+  // always finds a posted receive -- background progression (when enabled)
+  // can then grant it and land the data while both sides compute.
+  world.spawn(1, [&world] {
+    nm::Core& core = world.core(1);
+    nm::Gate* g = world.gate(1, 0);
+    auto& sched = world.sched(1);
+    std::vector<std::uint8_t> buf[2] = {
+        std::vector<std::uint8_t>(kBlock), std::vector<std::uint8_t>(kBlock)};
+    nm::Request* rr[2] = {nullptr, nullptr};
+    rr[0] = core.irecv(g, 100, buf[0].data(), kBlock);
+    for (int i = 0; i < kBlocks; ++i) {
+      core.wait(rr[i % 2]);
+      core.release(rr[i % 2]);
+      if (i + 1 < kBlocks) {
+        rr[(i + 1) % 2] = core.irecv(g, 100 + static_cast<nm::Tag>(i + 1),
+                                     buf[(i + 1) % 2].data(), kBlock);
+      }
+      sched.work(kComputePerBlock);  // consume the block
+    }
+    std::uint8_t ack = 1;
+    core.send(g, 999, &ack, 1);
+  }, "consumer", 0);
+
+  world.run();
+  return elapsed_ms;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("pipeline: %d blocks of %zu KiB, %s compute per block "
+              "(rendezvous protocol)\n\n",
+              kBlocks, kBlock / 1024,
+              sim::format_time(kComputePerBlock).c_str());
+
+  const double app_driven = run_pipeline(nm::ProgressMode::kAppDriven);
+  const double hooks = run_pipeline(nm::ProgressMode::kPiomanHooks);
+
+  std::printf("%-34s %10.3f ms\n", "app-driven progression:", app_driven);
+  std::printf("%-34s %10.3f ms\n", "PIOMan hooks (idle-core polling):", hooks);
+  std::printf("\nbackground progression speedup: %.2fx\n", app_driven / hooks);
+  std::printf("(the rendezvous handshake is answered by idle cores while "
+              "both sides compute)\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "nmad/cluster.hpp"
+
+#include <stdexcept>
+
+namespace pm2::nm {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.nodes < 1) throw std::invalid_argument("Cluster: nodes < 1");
+  if (cfg_.rails.empty()) throw std::invalid_argument("Cluster: no rails");
+
+  const bool hooks = cfg_.pioman_hooks ||
+                     cfg_.nm.progress == ProgressMode::kPiomanHooks ||
+                     cfg_.nm.progress == ProgressMode::kIdleCoreOffload;
+
+  for (std::size_t r = 0; r < cfg_.rails.size(); ++r) {
+    fabrics_.push_back(std::make_unique<net::Fabric>(
+        engine_, "fabric-" + std::to_string(r)));
+  }
+
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    auto node = std::make_unique<Node>();
+    node->machine = std::make_unique<mach::Machine>(
+        engine_, "node" + std::to_string(n), cfg_.topology, cfg_.costs);
+    node->sched = std::make_unique<mth::Scheduler>(*node->machine);
+    node->pioman = std::make_unique<piom::Server>(*node->sched);
+    node->tasklets = std::make_unique<piom::TaskletEngine>(*node->sched);
+    node->core = std::make_unique<Core>(*node->sched, cfg_.nm,
+                                        "nm" + std::to_string(n));
+    // One NIC per rail. Attach order guarantees port == node index on
+    // every fabric, which connect() below relies on.
+    for (std::size_t r = 0; r < cfg_.rails.size(); ++r) {
+      node->nics.push_back(std::make_unique<net::Nic>(
+          *node->machine, *fabrics_[r], cfg_.rails[r]));
+      node->core->add_rail(*node->nics.back());
+    }
+    node->core->attach_tasklets(node->tasklets.get());
+    node->core->attach_pioman(node->pioman.get());
+    if (cfg_.pioman_poll_core >= 0) {
+      node->pioman->bind_polling(cfg_.pioman_poll_core);
+    }
+    if (hooks) node->pioman->enable_hooks();
+    nodes_.push_back(std::move(node));
+  }
+
+  // Full mesh of gates.
+  for (int a = 0; a < cfg_.nodes; ++a) {
+    for (int b = 0; b < cfg_.nodes; ++b) {
+      if (a == b) continue;
+      std::vector<int> peer_ports(cfg_.rails.size(), b);
+      nodes_[static_cast<std::size_t>(a)]->core->connect(b, peer_ports);
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+sim::ChromeTrace& Cluster::enable_timeline() {
+  if (!timeline_) {
+    timeline_ = std::make_unique<sim::ChromeTrace>();
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      timeline_->set_process_name(n, "node " + std::to_string(n));
+      nodes_[static_cast<std::size_t>(n)]->sched->set_timeline(timeline_.get(), n);
+      for (std::size_t r = 0; r < cfg_.rails.size(); ++r) {
+        const int tid = 64 + static_cast<int>(r);
+        timeline_->set_thread_name(n, tid, "nic rail " + std::to_string(r));
+        nodes_[static_cast<std::size_t>(n)]->nics[r]->set_timeline(
+            timeline_.get(), n, tid);
+      }
+    }
+  }
+  return *timeline_;
+}
+
+void Cluster::write_timeline(const std::string& path) {
+  if (!timeline_) throw std::logic_error("Cluster: timeline not enabled");
+  timeline_->write(path);
+}
+
+mth::Thread* Cluster::spawn(int node, std::function<void()> fn,
+                            const std::string& name, int bind_core) {
+  mth::ThreadAttrs attrs;
+  attrs.name = name;
+  attrs.bind_core = bind_core;
+  return sched(node).spawn(std::move(fn), attrs);
+}
+
+}  // namespace pm2::nm

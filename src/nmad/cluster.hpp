@@ -1,0 +1,96 @@
+// pm2sim -- Cluster: one-call construction of a whole virtual testbed.
+//
+// A Cluster owns the engine, the per-node machine/scheduler/PIOMan/tasklet
+// stacks, the fabrics (one per rail), the NICs, and the per-node
+// NewMadeleine cores, fully inter-connected (every node has a gate to every
+// other). This is what benchmarks, examples and integration tests build.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nmad/core.hpp"
+#include "pioman/server.hpp"
+#include "simcore/chrome_trace.hpp"
+#include "pioman/tasklet.hpp"
+#include "simcore/engine.hpp"
+#include "simmachine/machine.hpp"
+#include "simnet/nic.hpp"
+#include "simthread/scheduler.hpp"
+
+namespace pm2::nm {
+
+struct ClusterConfig {
+  int nodes = 2;
+  mach::CacheTopology topology = mach::CacheTopology::quad_core();
+  mach::CostBook costs = mach::CostBook::xeon_quad();
+  /// One entry per rail; every node gets one NIC per rail.
+  std::vector<net::NicParams> rails = {net::NicParams::myri10g()};
+  Config nm;
+  /// Enable PIOMan scheduler hooks (implied by kPiomanHooks /
+  /// kIdleCoreOffload progression).
+  bool pioman_hooks = false;
+  /// Restrict hook-driven polling to this core (-1 = any). See Fig. 6/8.
+  int pioman_poll_core = -1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  int num_nodes() const { return cfg_.nodes; }
+
+  mach::Machine& machine(int node) { return *nodes_.at(static_cast<std::size_t>(node))->machine; }
+  mth::Scheduler& sched(int node) { return *nodes_.at(static_cast<std::size_t>(node))->sched; }
+  piom::Server& pioman(int node) { return *nodes_.at(static_cast<std::size_t>(node))->pioman; }
+  piom::TaskletEngine& tasklets(int node) { return *nodes_.at(static_cast<std::size_t>(node))->tasklets; }
+  Core& core(int node) { return *nodes_.at(static_cast<std::size_t>(node))->core; }
+  net::Nic& nic(int node, int rail) {
+    return *nodes_.at(static_cast<std::size_t>(node))->nics.at(static_cast<std::size_t>(rail));
+  }
+
+  /// Gate from @p node to @p peer.
+  Gate* gate(int node, int peer) { return core(node).gate_to(peer); }
+
+  /// Spawn a simulated thread on a node (optionally bound to a core).
+  mth::Thread* spawn(int node, std::function<void()> fn,
+                     const std::string& name = "app", int bind_core = -1);
+
+  /// Run the world to completion (all threads finished, events drained).
+  void run() { engine_.run(); }
+
+  /// Start recording a Chrome-trace timeline (thread spans per core, NIC
+  /// tx/rx). Returns the recorder, owned by the cluster.
+  sim::ChromeTrace& enable_timeline();
+
+  /// Write the recorded timeline (enable_timeline() must have been called).
+  void write_timeline(const std::string& path);
+
+  sim::ChromeTrace* timeline() { return timeline_.get(); }
+
+ private:
+  struct Node {
+    std::unique_ptr<mach::Machine> machine;
+    std::unique_ptr<mth::Scheduler> sched;
+    std::unique_ptr<piom::Server> pioman;
+    std::unique_ptr<piom::TaskletEngine> tasklets;
+    std::unique_ptr<Core> core;
+    std::vector<std::unique_ptr<net::Nic>> nics;
+  };
+
+  ClusterConfig cfg_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<net::Fabric>> fabrics_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<sim::ChromeTrace> timeline_;
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,893 @@
+#include "nmad/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "simcore/trace.hpp"
+
+namespace pm2::nm {
+
+namespace {
+constexpr int kMaxRails = 4;
+
+sim::Time copy_cost(double ns_per_byte, std::size_t bytes) {
+  return static_cast<sim::Time>(
+      std::llround(ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
+    : sched_(sched),
+      cfg_(cfg),
+      name_(std::move(name)),
+      locks_(sched, cfg.lock, kMaxRails),
+      strategy_(Strategy::make(cfg.strategy)) {
+  src_to_gate_.resize(kMaxRails);
+  submit_tasklet_ = std::make_unique<piom::Tasklet>(
+      [this](mth::HookContext& hctx) {
+        progress_try(hctx, /*submission_only=*/true);
+      },
+      name_ + "-submit");
+}
+
+Core::~Core() {
+  if (pioman_) pioman_->unregister_source(this);
+}
+
+Driver& Core::add_rail(net::Nic& nic) {
+  if (num_rails() >= kMaxRails) {
+    throw std::length_error("Core::add_rail: too many rails");
+  }
+  const int index = num_rails();
+  drivers_.push_back(std::make_unique<Driver>(nic, index));
+  Driver* d = drivers_.back().get();
+  rail_ptrs_.push_back(d);
+  // A freed tx slot is a progression opportunity: let idle cores know.
+  nic.set_tx_notifier([this] {
+    if (pioman_) pioman_->notify_new_work();
+  });
+  return *d;
+}
+
+Gate* Core::connect(int peer_node, std::vector<int> peer_ports) {
+  if (static_cast<int>(peer_ports.size()) != num_rails()) {
+    throw std::invalid_argument("Core::connect: one peer port per rail");
+  }
+  gates_.push_back(std::make_unique<Gate>(peer_node, peer_ports));
+  Gate* g = gates_.back().get();
+  by_peer_[peer_node] = g;
+  for (int r = 0; r < num_rails(); ++r) {
+    src_to_gate_[static_cast<std::size_t>(r)][peer_ports[static_cast<std::size_t>(r)]] = g;
+  }
+  return g;
+}
+
+Gate* Core::gate_to(int peer_node) const {
+  auto it = by_peer_.find(peer_node);
+  return it == by_peer_.end() ? nullptr : it->second;
+}
+
+void Core::attach_pioman(piom::Server* server) {
+  pioman_ = server;
+  if (pioman_) pioman_->register_source(this);
+}
+
+void Core::attach_tasklets(piom::TaskletEngine* engine) { tasklets_ = engine; }
+
+Gate* Core::gate_of_src(int rail, int src_port) const {
+  const auto& map = src_to_gate_.at(static_cast<std::size_t>(rail));
+  auto it = map.find(src_port);
+  return it == map.end() ? nullptr : it->second;
+}
+
+// --------------------------------------------------------------------------
+// Requests
+// --------------------------------------------------------------------------
+
+Request* Core::alloc_request() {
+  Request* req;
+  if (!free_reqs_.empty()) {
+    req = free_reqs_.back();
+    free_reqs_.pop_back();
+    req->flag_.reset();
+  } else {
+    req_pool_.push_back(std::make_unique<Request>(sched_, 0));
+    req = req_pool_.back().get();
+  }
+  req->id_ = next_req_id_++;
+  req->kind_ = ReqKind::kSend;
+  req->gate_ = nullptr;
+  req->tag_ = 0;
+  req->matched_tag_ = 0;
+  req->msg_seq_ = 0;
+  req->seq_bound_ = false;
+  req->send_data_ = nullptr;
+  req->inflight_chunks_ = 0;
+  req->fully_submitted_ = false;
+  req->rdv_granted_ = false;
+  req->recv_buf_ = nullptr;
+  req->capacity_ = 0;
+  req->total_len_ = 0;
+  req->total_known_ = false;
+  req->filled_ = 0;
+  req->released_ = false;
+  return req;
+}
+
+void Core::release(Request* req) {
+  assert(req != nullptr && !req->released_);
+  assert(req->completed() && "release of an incomplete request");
+  send_by_cookie_.erase(req->id_);
+  req->released_ = true;
+  req->owned_send_buf_.clear();
+  req->owned_send_buf_.shrink_to_fit();
+  free_reqs_.push_back(req);
+}
+
+void Core::complete_request(Request* req) {
+  assert(!req->completed());
+  req->flag_.set();
+  --active_reqs_;
+}
+
+void Core::on_chunks_wire_done(const std::vector<Request*>& reqs) {
+  for (Request* req : reqs) {
+    assert(req->inflight_chunks_ > 0);
+    --req->inflight_chunks_;
+    if (req->fully_submitted_ && req->inflight_chunks_ == 0 &&
+        !req->completed()) {
+      complete_request(req);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Public API
+// --------------------------------------------------------------------------
+
+Request* Core::isend(Gate* gate, Tag tag, const void* data, std::size_t len) {
+  assert(gate != nullptr);
+  assert(tag != kAnyTag && "kAnyTag is receive-only");
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+
+  Request* req = alloc_request();
+  req->kind_ = ReqKind::kSend;
+  req->gate_ = gate;
+  req->tag_ = tag;
+  req->send_data_ = static_cast<const std::uint8_t*>(data);
+  req->total_len_ = len;
+  req->total_known_ = true;
+  ++active_reqs_;
+  ++stats_.sends;
+
+  const bool rdv = len > cfg_.rdv_threshold;
+  if (rdv) send_by_cookie_[req->id_] = req;
+
+  const bool inline_submit =
+      cfg_.progress != ProgressMode::kTaskletOffload &&
+      cfg_.progress != ProgressMode::kIdleCoreOffload;
+
+  // Collect phase: stage the pack wrapper and -- matching the paper's
+  // Sec. 3.1 critical path ("held and released twice: once for submitting
+  // the message to the collect layer, once to transmit it through the
+  // network") -- arrange packets within the same collect section.
+  std::vector<Strategy::Arranged> staged;
+  locks_.lock(Domain::kCollect);
+  ctx.touch(gate->out_line_);
+  req->msg_seq_ = gate->next_send_seq_++;
+  req->seq_bound_ = true;
+  PackWrapper pw;
+  pw.req = req;
+  pw.tag = tag;
+  pw.msg_seq = req->msg_seq_;
+  pw.data = req->send_data_;
+  pw.len = len;
+  pw.cookie = req->id_;
+  if (rdv) {
+    pw.kind = PackWrapper::Kind::kRts;
+    gate->ctrl_list_.push_back(pw);
+  } else {
+    pw.kind = PackWrapper::Kind::kEager;
+    gate->out_list_.push_back(pw);
+  }
+  if (inline_submit) {
+    strategy_->arrange(cfg_, *gate, rail_ptrs_, ctx, staged);
+  }
+  locks_.unlock(Domain::kCollect);
+
+  PM2_TRACE("nmad", kDebug, "%s: isend tag %llu len %zu seq %u (%s)",
+            name_.c_str(), static_cast<unsigned long long>(tag), len,
+            req->msg_seq_, rdv ? "rdv" : "eager");
+
+  // Transmit phase.
+  if (inline_submit) {
+    commit_staged(staged, /*use_try=*/false);
+  } else {
+    kick_submission(ctx);
+  }
+  return req;
+}
+
+Request* Core::isend_owned(Gate* gate, Tag tag,
+                           std::vector<std::uint8_t> data) {
+  // Stash the bytes first; isend() records the pointer into the request we
+  // are about to receive, so stage via a temporary slot on the free-list
+  // head... simplest correct order: allocate through isend with a stable
+  // heap location owned by the request afterwards.
+  const std::size_t len = data.size();
+  Request* req = isend(gate, tag, data.data(), len);
+  req->owned_send_buf_ = std::move(data);
+  // isend() captured the pointer before the move; vector moves preserve
+  // the heap block, so send_data_ still points at the live bytes.
+  assert(len == 0 || req->send_data_ == req->owned_send_buf_.data());
+  return req;
+}
+
+void Core::kick_submission(mth::ExecContext& ctx) {
+  switch (cfg_.progress) {
+    case ProgressMode::kTaskletOffload:
+      assert(tasklets_ != nullptr && "kTaskletOffload without tasklet engine");
+      tasklets_->schedule(submit_tasklet_.get(),
+                          cfg_.poll_core >= 0 ? cfg_.poll_core : 0);
+      break;
+    case ProgressMode::kIdleCoreOffload:
+      assert(pioman_ != nullptr && "kIdleCoreOffload without PIOMan");
+      pioman_->notify_new_work();
+      break;
+    default:
+      // Inline submission ("transmit through the network", Sec. 3.1).
+      submit_step(ctx, /*use_try=*/false);
+      break;
+  }
+}
+
+Request* Core::irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
+  assert(gate != nullptr);
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+
+  Request* req = alloc_request();
+  req->kind_ = ReqKind::kRecv;
+  req->gate_ = gate;
+  req->tag_ = tag;
+  req->recv_buf_ = static_cast<std::uint8_t*>(buf);
+  req->capacity_ = capacity;
+  ++active_reqs_;
+  ++stats_.recvs;
+
+  bool adopted_rdv = false;
+  locks_.lock(Domain::kMatching);
+  // Adopt the earliest (lowest msg_seq) unexpected message with this tag.
+  auto best = gate->unexpected_.end();
+  for (auto it = gate->unexpected_.begin(); it != gate->unexpected_.end();
+       ++it) {
+    if (tag != kAnyTag && it->tag != tag) continue;
+    if (best == gate->unexpected_.end() || it->msg_seq < best->msg_seq) {
+      best = it;
+    }
+  }
+  if (best != gate->unexpected_.end()) {
+    UnexpectedMsg um = std::move(*best);
+    gate->unexpected_.erase(best);
+    req->matched_tag_ = um.tag;
+    req->msg_seq_ = um.msg_seq;
+    req->seq_bound_ = true;
+    req->total_len_ = um.total_len;
+    req->total_known_ = true;
+    if (um.total_len > capacity) {
+      throw std::length_error("nm::Core::irecv: message exceeds buffer (" +
+                              std::to_string(um.total_len) + " > " +
+                              std::to_string(capacity) + ")");
+    }
+    if (um.is_rdv) {
+      // Late receiver: grant the rendezvous now.
+      gate->bound_recvs_[req->msg_seq_] = req;
+      PackWrapper cts;
+      cts.kind = PackWrapper::Kind::kCts;
+      cts.tag = tag;
+      cts.msg_seq = um.msg_seq;
+      cts.cookie = um.rts_cookie;
+      deferred_pws_.emplace_back(gate, cts);
+      adopted_rdv = true;
+      ++stats_.rdv_handshakes;
+    } else {
+      // Copy from the internal unexpected buffer into the user buffer.
+      if (um.filled > 0) {
+        std::memcpy(req->recv_buf_, um.data.data(), um.filled);
+        ctx.charge(copy_cost(rail(0).nic().params().rx_copy_per_byte, um.filled));
+      }
+      req->filled_ = um.filled;
+      if (req->filled_ == req->total_len_) {
+        complete_request(req);
+      } else {
+        gate->bound_recvs_[req->msg_seq_] = req;  // rest still in flight
+      }
+    }
+  } else {
+    gate->posted_recvs_.push_back(req);
+  }
+  locks_.unlock(Domain::kMatching);
+
+  if (adopted_rdv) {
+    flush_deferred(/*use_try=*/false);
+    kick_submission(ctx);
+  }
+  return req;
+}
+
+bool Core::test(Request* req) {
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+  (void)ctx;
+  return req->flag_.test();
+}
+
+void Core::wait(Request* req) {
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+
+  if (cfg_.progress == ProgressMode::kPollThread) {
+    // Progression belongs to the dedicated thread; we only watch the flag
+    // (this is the Fig. 8 configuration).
+    req->flag_.wait(cfg_.wait == WaitMode::kBusy
+                        ? sync::WaitPolicy::kBusy
+                        : cfg_.wait == WaitMode::kPassive
+                              ? sync::WaitPolicy::kPassive
+                              : sync::WaitPolicy::kFixedSpin,
+                    cfg_.fixed_spin_budget);
+    return;
+  }
+
+  auto progress_once = [&] {
+    if (pioman_ != nullptr && cfg_.progress == ProgressMode::kPiomanHooks) {
+      // Polling goes through PIOMan (Fig. 6 configuration).
+      pioman_->poll_once(ctx);
+    } else {
+      progress(ctx);
+    }
+  };
+
+  switch (cfg_.wait) {
+    case WaitMode::kBusy:
+      // Coarse-grain semantics (Sec. 3.1): the mutex is held for the whole
+      // visit to the library -- the busy-waiting thread keeps it for the
+      // entire polling loop, which is exactly what serializes concurrent
+      // communication in Fig. 5. (Re-entrant: inner passes elide locks.)
+      // The loop is preemptible at timeslice boundaries (with the lock
+      // RELEASED around the preemption) so an oversubscribed core cannot
+      // be starved by its own spinner.
+      locks_.lock_library();
+      while (!req->flag_.test()) {
+        progress_once();
+        if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
+          const int depth = locks_.release_library_all();
+          sched_.maybe_preempt();
+          locks_.reacquire_library(depth);
+        }
+      }
+      locks_.unlock_library();
+      return;
+    case WaitMode::kPassive: {
+      // "The mutex is released before entering a blocking section":
+      // progression must come from elsewhere (PIOMan hooks, other threads).
+      const int depth = locks_.release_library_all();
+      req->flag_.wait_passive();
+      locks_.reacquire_library(depth);
+      return;
+    }
+    case WaitMode::kFixedSpin: {
+      const sim::Time deadline = engine().now() + cfg_.fixed_spin_budget;
+      locks_.lock_library();
+      while (engine().now() < deadline) {
+        if (req->flag_.test()) {
+          locks_.unlock_library();
+          return;
+        }
+        progress_once();
+        if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
+          const int depth = locks_.release_library_all();
+          sched_.maybe_preempt();
+          locks_.reacquire_library(depth);
+        }
+      }
+      locks_.unlock_library();
+      // Release any enclosing library visit too before blocking.
+      const int depth = locks_.release_library_all();
+      req->flag_.wait_passive();
+      locks_.reacquire_library(depth);
+      return;
+    }
+  }
+}
+
+// Note: the blocking conveniences are deliberately NOT one lock-held
+// library visit. Holding the coarse mutex from irecv through completion
+// deadlocks two communicating thread pairs (each node's holder waits for a
+// message whose sender is parked on the peer node's holder) -- the very
+// trap the paper's "the mutex is also released before entering a blocking
+// section" warns about. The wait itself still holds the lock across its
+// polling loop (see wait()).
+
+std::size_t Core::wait_any(const std::vector<Request*>& reqs) {
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+  assert(std::any_of(reqs.begin(), reqs.end(),
+                     [](Request* r) { return r != nullptr; }) &&
+         "wait_any with no live requests");
+  locks_.lock_library();
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      // Cheap host peek first; one priced read on the hit.
+      if (reqs[i] != nullptr && reqs[i]->flag_.is_set()) {
+        reqs[i]->flag_.test();
+        locks_.unlock_library();
+        return i;
+      }
+    }
+    ctx.charge(sched_.costs().spin_retry);
+    if (pioman_ != nullptr && cfg_.progress == ProgressMode::kPiomanHooks) {
+      pioman_->poll_once(ctx);
+    } else {
+      progress(ctx);
+    }
+    if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
+      const int depth = locks_.release_library_all();
+      sched_.maybe_preempt();
+      locks_.reacquire_library(depth);
+    }
+  }
+}
+
+void Core::send(Gate* gate, Tag tag, const void* data, std::size_t len) {
+  Request* req = isend(gate, tag, data, len);
+  wait(req);
+  release(req);
+}
+
+std::size_t Core::recv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
+  Request* req = irecv(gate, tag, buf, capacity);
+  wait(req);
+  const std::size_t n = req->received_length();
+  release(req);
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Progression
+// --------------------------------------------------------------------------
+
+bool Core::progress(mth::ExecContext& ctx) {
+  ++stats_.progress_passes;
+  locks_.lock_library();
+  bool any = flush_deferred(false);
+  any |= submit_step(ctx, false);
+  any |= pump_step(ctx, false);
+  if (resubmit_hint_) {
+    resubmit_hint_ = false;
+    any |= flush_deferred(false);
+    any |= submit_step(ctx, false);
+  }
+  locks_.unlock_library();
+  return any;
+}
+
+bool Core::progress_try(mth::ExecContext& ctx, bool submission_only) {
+  ++stats_.progress_passes;
+  if (!locks_.try_lock_library()) return false;
+  bool any = flush_deferred(true);
+  any |= submit_step(ctx, true);
+  if (!submission_only) {
+    any |= pump_step(ctx, true);
+    if (resubmit_hint_) {
+      resubmit_hint_ = false;
+      any |= flush_deferred(true);
+      any |= submit_step(ctx, true);
+    }
+  }
+  locks_.unlock_library();
+  return any;
+}
+
+bool Core::poll(mth::ExecContext& ctx) {
+  if (cfg_.progress == ProgressMode::kIdleCoreOffload) {
+    // Idle cores only take over *submission* work (Sec. 4.2, "while a core
+    // is idle, Marcel invokes PIOMan that can detect that a message needs
+    // to be submitted to a network").
+    if (!has_submission_work()) return false;
+    ctx.charge(sched_.costs().idle_offload_detect);
+    return progress_try(ctx, /*submission_only=*/true);
+  }
+  return progress_try(ctx);
+}
+
+bool Core::pending() const {
+  if (cfg_.progress == ProgressMode::kIdleCoreOffload) {
+    return has_submission_work();
+  }
+  return active_reqs_ > 0 || has_submission_work();
+}
+
+bool Core::has_submission_work() const {
+  if (!deferred_pws_.empty()) return true;
+  for (const auto& g : gates_) {
+    if (g->has_outgoing()) return true;
+  }
+  for (const auto& d : drivers_) {
+    if (d->has_pending()) return true;
+  }
+  return false;
+}
+
+bool Core::flush_deferred(bool use_try) {
+  // Unpriced peek: the deque is only ever non-empty after a matching-locked
+  // section queued protocol work.
+  if (deferred_pws_.empty()) return false;
+  std::deque<std::pair<Gate*, PackWrapper>> local;
+  if (use_try) {
+    if (!locks_.try_lock(Domain::kMatching)) return false;
+  } else {
+    locks_.lock(Domain::kMatching);
+  }
+  local.swap(deferred_pws_);
+  locks_.unlock(Domain::kMatching);
+  if (local.empty()) return false;
+
+  if (use_try) {
+    if (!locks_.try_lock(Domain::kCollect)) {
+      // Put them back; next pass retries.
+      if (locks_.try_lock(Domain::kMatching)) {
+        for (auto& e : local) deferred_pws_.push_back(std::move(e));
+        locks_.unlock(Domain::kMatching);
+        return false;
+      }
+      // Extremely contended: re-queue without the lock. Host execution is
+      // single-threaded, so this is safe; the locks model cost, not safety.
+      for (auto& e : local) deferred_pws_.push_back(std::move(e));
+      return false;
+    }
+  } else {
+    locks_.lock(Domain::kCollect);
+  }
+  for (auto& [gate, pw] : local) {
+    if (pw.kind == PackWrapper::Kind::kCts) {
+      gate->ctrl_list_.push_back(pw);
+    } else {
+      gate->out_list_.push_back(pw);
+    }
+  }
+  locks_.unlock(Domain::kCollect);
+  return true;
+}
+
+bool Core::submit_step(mth::ExecContext& ctx, bool use_try) {
+  bool work = false;
+  for (const auto& g : gates_) {
+    if (g->has_outgoing()) {
+      work = true;
+      break;
+    }
+  }
+  for (const auto& d : drivers_) {
+    if (d->has_pending()) work = true;
+  }
+  if (!work) return false;
+
+  std::vector<Strategy::Arranged> staged;
+  bool locked_collect;
+  if (use_try) {
+    locked_collect = locks_.try_lock(Domain::kCollect);
+  } else {
+    locks_.lock(Domain::kCollect);
+    locked_collect = true;
+  }
+  if (locked_collect) {
+    for (const auto& g : gates_) {
+      if (!g->has_outgoing()) continue;
+      ctx.touch(g->out_line_);
+      strategy_->arrange(cfg_, *g, rail_ptrs_, ctx, staged);
+    }
+    locks_.unlock(Domain::kCollect);
+  }
+
+  return commit_staged(staged, use_try) || !staged.empty();
+}
+
+bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
+                         bool use_try) {
+  bool posted = false;
+  auto completer = [this](std::vector<Request*> reqs) {
+    on_chunks_wire_done(reqs);
+  };
+  for (int r = 0; r < num_rails(); ++r) {
+    Driver& drv = *drivers_[static_cast<std::size_t>(r)];
+    const bool has_commits =
+        std::any_of(staged.begin(), staged.end(),
+                    [r](const auto& a) { return a.rail == r; });
+    if (!has_commits && !drv.has_pending()) continue;
+    const Domain d = locks_.driver_domain(r);
+    if (use_try) {
+      if (!locks_.try_lock(d)) {
+        // Staged packets for this rail must not be lost: nobody else can
+        // be arranging (we popped the wrappers), so append without the
+        // lock -- cost model only, host-safe -- and let a later pass drain.
+        for (auto& a : staged) {
+          if (a.rail == r) drv.commit(std::move(a.pkt));
+        }
+        continue;
+      }
+    } else {
+      locks_.lock(d);
+    }
+    for (auto& a : staged) {
+      if (a.rail == r) drv.commit(std::move(a.pkt));
+    }
+    posted |= drv.drain(completer) > 0;
+    locks_.unlock(d);
+  }
+  return posted;
+}
+
+bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
+  bool any = false;
+  auto completer = [this](std::vector<Request*> reqs) {
+    on_chunks_wire_done(reqs);
+  };
+  if (!use_try) {
+    // Blocking path: never hold two domains at once.
+    std::vector<std::pair<int, net::Packet>> received;
+    for (int r = 0; r < num_rails(); ++r) {
+      Driver& d = *drivers_[static_cast<std::size_t>(r)];
+      if (!d.has_pending() && !d.nic().rx_pending()) {
+        // Doorbell peek: an empty completion queue is detected with a
+        // plain (priced) read, no lock needed -- idle polling passes cost
+        // the same under every locking mode.
+        d.nic().poll();
+        continue;
+      }
+      locks_.lock(locks_.driver_domain(r));
+      d.drain(completer);
+      for (int k = 0; k < 4; ++k) {
+        auto pkt = d.nic().poll();
+        if (!pkt) break;
+        received.emplace_back(r, std::move(*pkt));
+      }
+      locks_.unlock(locks_.driver_domain(r));
+    }
+    if (!received.empty()) {
+      any = true;
+      locks_.lock(Domain::kMatching);
+      for (auto& [r, pkt] : received) process_packet_locked(ctx, r, pkt);
+      locks_.unlock(Domain::kMatching);
+    }
+    return any;
+  }
+
+  // Hook path: nested try-locks (deadlock-free) so no packet is popped
+  // unless it can be processed.
+  for (int r = 0; r < num_rails(); ++r) {
+    Driver& d = *drivers_[static_cast<std::size_t>(r)];
+    if (!d.has_pending() && !d.nic().rx_pending()) {
+      d.nic().poll();  // doorbell peek (see blocking path)
+      continue;
+    }
+    if (!locks_.try_lock(locks_.driver_domain(r))) continue;
+    d.drain(completer);
+    int budget = 4;
+    while (budget-- > 0 && d.nic().rx_pending()) {
+      if (!locks_.try_lock(Domain::kMatching)) break;
+      auto pkt = d.nic().poll();
+      if (pkt) {
+        process_packet_locked(ctx, r, *pkt);
+        any = true;
+      }
+      locks_.unlock(Domain::kMatching);
+    }
+    locks_.unlock(locks_.driver_domain(r));
+  }
+  return any;
+}
+
+// --------------------------------------------------------------------------
+// Receive path (caller holds the matching domain)
+// --------------------------------------------------------------------------
+
+void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
+                                 const net::Packet& pkt) {
+  ++stats_.packets_rx;
+  Gate* gate = gate_of_src(rail, pkt.src_port);
+  if (gate == nullptr) {
+    PM2_TRACE("nmad", kWarn, "%s: packet from unknown port %d dropped",
+              name_.c_str(), pkt.src_port);
+    return;
+  }
+  PacketReader reader(pkt.payload);
+  const std::uint8_t* data = nullptr;
+  while (auto h = reader.next(&data)) {
+    ++stats_.chunks_rx;
+    handle_chunk_locked(ctx, rail, *gate, *h, data);
+  }
+  if (!reader.ok()) {
+    PM2_TRACE("nmad", kError, "%s: malformed packet from port %d",
+              name_.c_str(), pkt.src_port);
+  }
+}
+
+void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
+                               const ChunkHeader& h, const std::uint8_t* data) {
+  switch (h.kind) {
+    case ChunkKind::kCts: {
+      // Sender side: rendezvous granted; queue the bulk data.
+      auto it = send_by_cookie_.find(h.cookie);
+      assert(it != send_by_cookie_.end() && "CTS for unknown request");
+      Request* req = it->second;
+      assert(!req->rdv_granted_);
+      req->rdv_granted_ = true;
+      ++stats_.rdv_handshakes;
+      PackWrapper pw;
+      pw.kind = PackWrapper::Kind::kRdvData;
+      pw.req = req;
+      pw.tag = req->tag_;
+      pw.msg_seq = req->msg_seq_;
+      pw.data = req->send_data_;
+      pw.len = req->total_len_;
+      pw.cookie = req->id_;
+      deferred_pws_.emplace_back(req->gate_, pw);
+      resubmit_hint_ = true;
+      return;
+    }
+    case ChunkKind::kRts: {
+      // Receiver side: a rendezvous announcement matches like a message.
+      Request* req = nullptr;
+      for (auto it = gate.posted_recvs_.begin();
+           it != gate.posted_recvs_.end(); ++it) {
+        if ((*it)->tag_ == h.tag || (*it)->tag_ == kAnyTag) {
+          req = *it;
+          gate.posted_recvs_.erase(it);
+          break;
+        }
+      }
+      if (req != nullptr) {
+        req->matched_tag_ = h.tag;
+        req->msg_seq_ = h.msg_seq;
+        req->seq_bound_ = true;
+        req->total_len_ = h.total_len;
+        req->total_known_ = true;
+        if (h.total_len > req->capacity_) {
+          throw std::length_error("nm: rendezvous message exceeds buffer");
+        }
+        gate.bound_recvs_[h.msg_seq] = req;
+        PackWrapper cts;
+        cts.kind = PackWrapper::Kind::kCts;
+        cts.tag = h.tag;
+        cts.msg_seq = h.msg_seq;
+        cts.cookie = h.cookie;
+        deferred_pws_.emplace_back(&gate, cts);
+        resubmit_hint_ = true;
+        ++stats_.rdv_handshakes;
+      } else {
+        UnexpectedMsg um;
+        um.tag = h.tag;
+        um.msg_seq = h.msg_seq;
+        um.total_len = h.total_len;
+        um.is_rdv = true;
+        um.rts_cookie = h.cookie;
+        gate.unexpected_.push_back(std::move(um));
+        ++stats_.unexpected_chunks;
+      }
+      return;
+    }
+    case ChunkKind::kEager:
+    case ChunkKind::kRdvData: {
+      Request* req = nullptr;
+      auto bound = gate.bound_recvs_.find(h.msg_seq);
+      if (bound != gate.bound_recvs_.end()) {
+        req = bound->second;
+      } else {
+        for (auto it = gate.posted_recvs_.begin();
+             it != gate.posted_recvs_.end(); ++it) {
+          if ((*it)->tag_ == h.tag || (*it)->tag_ == kAnyTag) {
+            req = *it;
+            gate.posted_recvs_.erase(it);
+            req->matched_tag_ = h.tag;
+            req->msg_seq_ = h.msg_seq;
+            req->seq_bound_ = true;
+            req->total_len_ = h.total_len;
+            req->total_known_ = true;
+            if (h.total_len > req->capacity_) {
+              throw std::length_error("nm: message exceeds receive buffer");
+            }
+            gate.bound_recvs_[h.msg_seq] = req;
+            break;
+          }
+        }
+      }
+      if (req != nullptr) {
+        deliver_chunk_locked(ctx, rail, gate, req, h, data);
+        return;
+      }
+      // Unexpected: accumulate in an internal buffer.
+      UnexpectedMsg* um = nullptr;
+      for (auto& u : gate.unexpected_) {
+        if (u.msg_seq == h.msg_seq) {
+          um = &u;
+          break;
+        }
+      }
+      if (um == nullptr) {
+        gate.unexpected_.emplace_back();
+        um = &gate.unexpected_.back();
+        um->tag = h.tag;
+        um->msg_seq = h.msg_seq;
+        um->total_len = h.total_len;
+        um->data.resize(h.total_len);
+      }
+      if (h.chunk_len > 0) {
+        assert(h.offset + h.chunk_len <= um->data.size());
+        std::memcpy(um->data.data() + h.offset, data, h.chunk_len);
+        ctx.charge(copy_cost(
+            rail_ptrs_[static_cast<std::size_t>(rail)]->nic().params().rx_copy_per_byte,
+            h.chunk_len));
+      }
+      um->filled += h.chunk_len;
+      ++stats_.unexpected_chunks;
+      return;
+    }
+  }
+}
+
+void Core::deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
+                                Request* req, const ChunkHeader& h,
+                                const std::uint8_t* data) {
+  assert(req->seq_bound_ && req->msg_seq_ == h.msg_seq);
+  if (h.chunk_len > 0) {
+    assert(h.offset + h.chunk_len <= req->capacity_);
+    std::memcpy(req->recv_buf_ + h.offset, data, h.chunk_len);
+    // Matched receives: small chunks are copied out of the rx ring; large
+    // ones land in place by DMA and only pay completion handling.
+    const auto& p = rail_ptrs_[static_cast<std::size_t>(rail)]->nic().params();
+    ctx.charge(h.chunk_len <= p.pio_threshold
+                   ? copy_cost(p.rx_copy_per_byte, h.chunk_len)
+                   : p.rx_match_cost);
+  }
+  req->filled_ += h.chunk_len;
+  assert(req->filled_ <= req->total_len_);
+  if (req->filled_ == req->total_len_) {
+    gate.bound_recvs_.erase(h.msg_seq);
+    complete_request(req);
+    PM2_TRACE("nmad", kDebug, "%s: recv complete tag %llu seq %u len %zu",
+              name_.c_str(), static_cast<unsigned long long>(h.tag), h.msg_seq,
+              req->filled_);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Dedicated progression thread (Fig. 8)
+// --------------------------------------------------------------------------
+
+mth::Thread* Core::start_poll_thread() {
+  assert(poll_thread_ == nullptr && "poll thread already running");
+  poll_thread_stop_ = false;
+  mth::ThreadAttrs attrs;
+  attrs.name = name_ + "-poll";
+  attrs.bind_core = cfg_.poll_core;
+  poll_thread_ = sched_.spawn(
+      [this] {
+        auto& ctx = mth::ExecContext::current();
+        while (!poll_thread_stop_) {
+          progress(ctx);  // every pass consumes time; the loop is paced
+        }
+      },
+      attrs);
+  return poll_thread_;
+}
+
+void Core::stop_poll_thread() {
+  poll_thread_stop_ = true;
+  poll_thread_ = nullptr;
+}
+
+}  // namespace pm2::nm

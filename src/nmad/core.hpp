@@ -1,0 +1,197 @@
+// pm2sim -- NewMadeleine core: the per-node communication library instance.
+//
+// Ties the three layers together (paper Fig. 1):
+//   collect layer      -- isend/irecv stage work into per-gate lists;
+//   optimization layer -- a Strategy arranges packets when NICs have room;
+//   transfer layer     -- Drivers feed packets to NICs and poll them.
+//
+// Orthogonally configurable (nm::Config):
+//   locking     none / coarse / fine                      (Sec. 3.1-3.2)
+//   waiting     busy / passive / fixed-spin               (Sec. 3.3)
+//   progression app-driven / PIOMan hooks / dedicated poll thread /
+//               tasklet-offloaded submission / idle-core submission (Sec. 4)
+//
+// Locking discipline: a thread never holds two lock domains at once on the
+// blocking paths (collect -> unlock -> driver -> unlock -> matching), which
+// keeps the coarse mapping (every domain = one global lock) deadlock-free.
+// Hook contexts use try-locks exclusively and may nest them (try-locks
+// cannot deadlock); work that cannot be done under a failed try-lock is
+// left queued for the next pass.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nmad/driver.hpp"
+#include "nmad/gate.hpp"
+#include "nmad/locking.hpp"
+#include "nmad/request.hpp"
+#include "nmad/strategy.hpp"
+#include "nmad/types.hpp"
+#include "nmad/wire_format.hpp"
+#include "pioman/server.hpp"
+#include "pioman/tasklet.hpp"
+#include "simnet/nic.hpp"
+#include "simthread/scheduler.hpp"
+
+namespace pm2::nm {
+
+class Core final : public piom::PollSource {
+ public:
+  Core(mth::Scheduler& sched, Config cfg, std::string name = "nm");
+  ~Core() override;
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  // --- world wiring ---------------------------------------------------------
+
+  /// Attach one NIC as rail N (in call order).
+  Driver& add_rail(net::Nic& nic);
+
+  /// Open a gate to @p peer_node; @p peer_ports gives, per rail, the peer's
+  /// fabric port (which is also the src_port of its incoming packets).
+  Gate* connect(int peer_node, std::vector<int> peer_ports);
+
+  Gate* gate_to(int peer_node) const;
+
+  /// Attach a PIOMan server; the core registers itself as a poll source.
+  void attach_pioman(piom::Server* server);
+
+  /// Attach a tasklet engine (required for ProgressMode::kTaskletOffload).
+  void attach_tasklets(piom::TaskletEngine* engine);
+
+  const Config& config() const { return cfg_; }
+  mth::Scheduler& scheduler() const { return sched_; }
+  sim::Engine& engine() const { return sched_.engine(); }
+  const std::string& name() const { return name_; }
+  int num_rails() const { return static_cast<int>(drivers_.size()); }
+  Driver& rail(int i) { return *drivers_.at(static_cast<std::size_t>(i)); }
+  LockSet& locks() { return locks_; }
+
+  // --- data movement ----------------------------------------------------------
+
+  /// Non-blocking send. The request completes once the message is on the
+  /// wire (buffer reusable). @p data must stay valid until completion.
+  Request* isend(Gate* gate, Tag tag, const void* data, std::size_t len);
+
+  /// Non-blocking send from a buffer the request takes ownership of (used
+  /// by the pack interface); freed at release().
+  Request* isend_owned(Gate* gate, Tag tag, std::vector<std::uint8_t> data);
+
+  /// Non-blocking receive into @p buf (up to @p capacity bytes).
+  Request* irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity);
+
+  /// Completion check (one priced flag read). Does not release.
+  bool test(Request* req);
+
+  /// Wait for completion using the configured WaitMode. Does not release,
+  /// so received_length() stays queryable; call release() when done.
+  void wait(Request* req);
+
+  /// Wait until any request in @p reqs completes; returns its index.
+  /// Null entries are skipped; at least one entry must be non-null.
+  /// Always progress-polls (the fixed-spin/passive policies do not apply:
+  /// multiple flags cannot share one blocking slot efficiently here).
+  std::size_t wait_any(const std::vector<Request*>& reqs);
+
+  /// Return a completed request to the core.
+  void release(Request* req);
+
+  /// Blocking conveniences (isend/irecv + wait + release).
+  void send(Gate* gate, Tag tag, const void* data, std::size_t len);
+  std::size_t recv(Gate* gate, Tag tag, void* buf, std::size_t capacity);
+
+  // --- progression -------------------------------------------------------------
+
+  /// One full progression pass with blocking locks (thread context).
+  bool progress(mth::ExecContext& ctx);
+
+  /// Hook-safe pass: try-locks only, never blocks.
+  bool progress_try(mth::ExecContext& ctx, bool submission_only = false);
+
+  // PollSource interface (PIOMan).
+  bool poll(mth::ExecContext& ctx) override;
+  bool pending() const override;
+
+  /// Spawn/stop the dedicated progression thread (kPollThread) on
+  /// config().poll_core.
+  mth::Thread* start_poll_thread();
+  void stop_poll_thread();
+
+  // --- statistics ----------------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t packets_rx = 0;
+    std::uint64_t chunks_rx = 0;
+    std::uint64_t unexpected_chunks = 0;
+    std::uint64_t rdv_handshakes = 0;
+    std::uint64_t progress_passes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Incomplete (not yet completed) requests.
+  int active_requests() const { return active_reqs_; }
+
+ private:
+  // Submission pipeline.
+  void kick_submission(mth::ExecContext& ctx);
+  bool flush_deferred(bool use_try);
+  bool submit_step(mth::ExecContext& ctx, bool use_try);
+  bool commit_staged(std::vector<Strategy::Arranged>& staged, bool use_try);
+  bool pump_step(mth::ExecContext& ctx, bool use_try);
+  void process_packet_locked(mth::ExecContext& ctx, int rail,
+                             const net::Packet& pkt);
+  void handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
+                           const ChunkHeader& h, const std::uint8_t* data);
+  void deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
+                            Request* req, const ChunkHeader& h,
+                            const std::uint8_t* data);
+  void complete_request(Request* req);
+  void on_chunks_wire_done(const std::vector<Request*>& reqs);
+  bool has_submission_work() const;
+
+  Request* alloc_request();
+  Gate* gate_of_src(int rail, int src_port) const;
+
+  mth::Scheduler& sched_;
+  Config cfg_;
+  std::string name_;
+  LockSet locks_;
+
+  std::vector<std::unique_ptr<Driver>> drivers_;
+  std::vector<Driver*> rail_ptrs_;
+  std::vector<std::unordered_map<int, Gate*>> src_to_gate_;  // per rail
+  std::vector<std::unique_ptr<Gate>> gates_;
+  std::unordered_map<int, Gate*> by_peer_;
+
+  std::unique_ptr<Strategy> strategy_;
+  piom::Server* pioman_ = nullptr;
+  piom::TaskletEngine* tasklets_ = nullptr;
+  std::unique_ptr<piom::Tasklet> submit_tasklet_;
+
+  /// Protocol pack-wrappers produced while holding the matching lock
+  /// (CTS replies, granted rendezvous data); moved into the gates' collect
+  /// lists by the next submission step. Guarded by the matching domain.
+  std::deque<std::pair<Gate*, PackWrapper>> deferred_pws_;
+  bool resubmit_hint_ = false;
+
+  std::unordered_map<std::uint64_t, Request*> send_by_cookie_;
+  std::vector<std::unique_ptr<Request>> req_pool_;
+  std::vector<Request*> free_reqs_;
+  std::uint64_t next_req_id_ = 1;
+  int active_reqs_ = 0;
+
+  bool poll_thread_stop_ = false;
+  mth::Thread* poll_thread_ = nullptr;
+
+  Stats stats_;
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,33 @@
+#include "nmad/driver.hpp"
+
+namespace pm2::nm {
+
+int Driver::drain(
+    const std::function<void(std::vector<Request*>)>& complete_chunks) {
+  int posted = 0;
+  // One packet at a time: the next one is posted when the wire is idle
+  // again (NIC-driven activity, paper Fig. 1).
+  while (!pending_.empty() && nic_.tx_idle() && nic_.tx_ready()) {
+    StagedPacket pkt = std::move(pending_.front());
+    pending_.pop_front();
+    auto accounted = std::move(pkt.accounted);
+    const bool pio = pkt.payload.size() <= nic_.params().pio_threshold;
+    if (pio) {
+      // PIO send: the CPU copied every byte into the NIC window at post
+      // time, so the sender's buffer is reusable immediately.
+      nic_.post_send(pkt.dst_port, pkt.trk, std::move(pkt.payload));
+      complete_chunks(std::move(accounted));
+    } else {
+      // DMA send: the buffer must stay stable until the NIC has read it.
+      nic_.post_send(pkt.dst_port, pkt.trk, std::move(pkt.payload),
+                     [complete = complete_chunks, acc = std::move(accounted)] {
+                       complete(acc);
+                     });
+    }
+    ++packets_posted_;
+    ++posted;
+  }
+  return posted;
+}
+
+}  // namespace pm2::nm

@@ -1,0 +1,73 @@
+// pm2sim -- the transfer layer: one Driver per rail (NIC).
+//
+// The optimization layer commits arranged packets into the driver's pending
+// list; the driver feeds them to the NIC whenever it has queue room (paper:
+// "a NewMadeleine driver accesses its list when the corresponding NIC
+// becomes idle"). Accesses to the pending list are serialized by the
+// driver's lock domain, owned by the caller (Core).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "nmad/request.hpp"
+#include "simnet/nic.hpp"
+
+namespace pm2::nm {
+
+/// NewMadeleine's two logical tracks, mapped onto link channels.
+inline constexpr net::Channel kTrkSmall = 0;  ///< eager data + control
+inline constexpr net::Channel kTrkBulk = 1;   ///< rendezvous bulk data
+
+/// A fully-built packet waiting for NIC queue room.
+struct StagedPacket {
+  net::Channel trk = kTrkSmall;
+  int dst_port = -1;
+  std::vector<std::uint8_t> payload;
+  /// Send requests with data chunks in this packet; each gets one
+  /// inflight-chunk decrement when the wire absorbs the packet.
+  std::vector<Request*> accounted;
+};
+
+class Driver {
+ public:
+  Driver(net::Nic& nic, int index) : nic_(nic), index_(index) {}
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  net::Nic& nic() { return nic_; }
+  const net::Nic& nic() const { return nic_; }
+  int index() const { return index_; }
+
+  /// True if arranging a packet now would reach an idle NIC: the paper's
+  /// architecture is NIC-driven ("when a NIC becomes idle, the
+  /// optimization layer is invoked to compute the best message
+  /// arrangement") -- while a packet occupies the wire, new messages
+  /// accumulate in the collect lists, which is what gives the aggregation
+  /// strategy something to aggregate.
+  bool ready() const { return pending_.empty() && nic_.tx_idle(); }
+
+  bool has_pending() const { return !pending_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Append a packet to the transfer list. Caller holds the driver domain.
+  void commit(StagedPacket pkt) { pending_.push_back(std::move(pkt)); }
+
+  /// Push pending packets into the NIC while it has room. Caller holds the
+  /// driver domain; @p on_wire_done is built by the Core for accounting.
+  /// Returns the number of packets posted.
+  int drain(const std::function<void(std::vector<Request*>)>& complete_chunks);
+
+  std::uint64_t packets_posted() const { return packets_posted_; }
+
+ private:
+  net::Nic& nic_;
+  int index_;
+  std::deque<StagedPacket> pending_;
+  std::uint64_t packets_posted_ = 0;
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,98 @@
+// pm2sim -- gates: per-peer connection state.
+//
+// A gate bundles everything NewMadeleine keeps per communication partner
+// (paper Fig. 1 / Sec. 3.2):
+//   * the collect layer's list of packet wrappers waiting to be scheduled
+//     (plus a priority list for protocol control chunks),
+//   * the receive-side matching state: posted receives, receives bound to an
+//     in-flight wire message, and the unexpected-message store.
+//
+// Gate is a data holder; the logic that manipulates it lives in Core (with
+// locking applied according to the configured LockMode) and in the
+// strategies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "nmad/request.hpp"
+#include "nmad/types.hpp"
+#include "simmachine/machine.hpp"
+
+namespace pm2::nm {
+
+/// An entry of the collect layer's outgoing lists: a message (or protocol
+/// chunk) waiting to be arranged into packets by the optimization layer.
+struct PackWrapper {
+  enum class Kind : std::uint8_t {
+    kEager,    ///< small-message data (whole message)
+    kRts,      ///< rendezvous request (control)
+    kCts,      ///< rendezvous grant (control)
+    kRdvData,  ///< granted rendezvous bulk data
+  };
+
+  Kind kind = Kind::kEager;
+  Request* req = nullptr;  ///< originating send request (null for kCts)
+  Tag tag = 0;
+  std::uint32_t msg_seq = 0;
+  const std::uint8_t* data = nullptr;  ///< message bytes (kEager / kRdvData)
+  std::size_t len = 0;                 ///< total message length
+  std::size_t offset = 0;              ///< next byte to submit (split sends)
+  std::uint64_t cookie = 0;            ///< rendezvous correlation
+
+  std::size_t remaining() const { return len - offset; }
+};
+
+/// A message (or rendezvous announcement) that arrived before a matching
+/// receive was posted.
+struct UnexpectedMsg {
+  Tag tag = 0;
+  std::uint32_t msg_seq = 0;
+  std::size_t total_len = 0;
+  bool is_rdv = false;
+  std::uint64_t rts_cookie = 0;
+  std::vector<std::uint8_t> data;  ///< accumulated eager bytes
+  std::size_t filled = 0;
+};
+
+class Gate {
+ public:
+  Gate(int peer_node, std::vector<int> peer_ports)
+      : peer_node_(peer_node), peer_ports_(std::move(peer_ports)) {}
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  int peer_node() const { return peer_node_; }
+
+  /// Destination fabric port on rail @p rail.
+  int peer_port(int rail) const {
+    return peer_ports_.at(static_cast<std::size_t>(rail));
+  }
+
+  bool has_outgoing() const {
+    return !ctrl_list_.empty() || !out_list_.empty();
+  }
+
+ private:
+  friend class Core;
+  friend class Strategy;  // arrange_fifo manipulates the collect lists
+
+  int peer_node_;
+  std::vector<int> peer_ports_;
+
+  // --- collect layer (protected by the collect lock) ----------------------
+  std::deque<PackWrapper> ctrl_list_;  ///< RTS/CTS: scheduled with priority
+  std::deque<PackWrapper> out_list_;   ///< data awaiting arrangement
+  std::uint32_t next_send_seq_ = 0;
+  mach::CacheLine out_line_;  ///< tracks which core last touched the lists
+
+  // --- receive matching (protected by the matching lock) ------------------
+  std::deque<Request*> posted_recvs_;                    ///< unmatched, FIFO
+  std::unordered_map<std::uint32_t, Request*> bound_recvs_;  ///< msg_seq ->
+  std::deque<UnexpectedMsg> unexpected_;                 ///< arrival order
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,87 @@
+#include "nmad/pack.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace pm2::nm {
+
+namespace {
+/// Host gather/scatter copy speed (memcpy-class), ns per byte.
+constexpr double kCopyNsPerByte = 0.15;
+
+void charge_copy(std::size_t bytes) {
+  if (auto* ctx = mth::ExecContext::current_or_null()) {
+    ctx->charge(static_cast<sim::Time>(
+        std::llround(kCopyNsPerByte * static_cast<double>(bytes))));
+  }
+}
+}  // namespace
+
+PackBuilder& PackBuilder::pack(const void* data, std::size_t len) {
+  assert((data != nullptr || len == 0) && "null segment with bytes");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + len);
+  charge_copy(len);
+  return *this;
+}
+
+Request* PackBuilder::isend(Gate* gate, Tag tag) {
+  // The request takes ownership of the gathered bytes (they stay alive
+  // until release(), as rendezvous sends need); the builder resets.
+  Request* req = core_.isend_owned(gate, tag, std::move(buffer_));
+  buffer_.clear();
+  return req;
+}
+
+void PackBuilder::send(Gate* gate, Tag tag) {
+  Request* req = isend(gate, tag);
+  core_.wait(req);
+  core_.release(req);
+}
+
+UnpackDest& UnpackDest::unpack(void* data, std::size_t len) {
+  assert((data != nullptr || len == 0) && "null segment with bytes");
+  slices_.push_back(IoSlice{data, len});
+  return *this;
+}
+
+std::size_t UnpackDest::capacity() const {
+  std::size_t total = 0;
+  for (const auto& s : slices_) total += s.len;
+  return total;
+}
+
+Request* UnpackDest::irecv(Gate* gate, Tag tag) {
+  staging_.resize(capacity());
+  return core_.irecv(gate, tag, staging_.data(), staging_.size());
+}
+
+std::size_t UnpackDest::wait_and_scatter(Request* req) {
+  core_.wait(req);
+  const std::size_t n = req->received_length();
+  core_.release(req);
+  std::size_t off = 0;
+  for (const auto& s : slices_) {
+    if (off >= n) break;
+    const std::size_t take = std::min(s.len, n - off);
+    std::memcpy(s.base, staging_.data() + off, take);
+    off += take;
+  }
+  charge_copy(n);
+  return n;
+}
+
+std::size_t UnpackDest::recv(Gate* gate, Tag tag) {
+  return wait_and_scatter(irecv(gate, tag));
+}
+
+Request* isend_v(Core& core, Gate* gate, Tag tag,
+                 const std::vector<ConstIoSlice>& slices) {
+  PackBuilder pk(core);
+  for (const auto& s : slices) pk.pack(s);
+  return pk.isend(gate, tag);
+}
+
+}  // namespace pm2::nm

@@ -1,0 +1,96 @@
+// pm2sim -- pack/unpack: NewMadeleine's multi-segment message interface.
+//
+// The real library's native API builds messages from several application
+// buffers (nm_pack) and scatters received messages back (nm_unpack),
+// avoiding caller-side marshalling. This layer provides the same
+// convenience on top of Core: segments are gathered into one wire message
+// (the gather copy is priced like any host copy) and scattered on arrival.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nmad/core.hpp"
+
+namespace pm2::nm {
+
+/// One segment of a scatter/gather list.
+struct IoSlice {
+  void* base = nullptr;
+  std::size_t len = 0;
+};
+struct ConstIoSlice {
+  const void* base = nullptr;
+  std::size_t len = 0;
+
+  ConstIoSlice() = default;
+  ConstIoSlice(const void* b, std::size_t l) : base(b), len(l) {}
+  ConstIoSlice(const IoSlice& s) : base(s.base), len(s.len) {}  // NOLINT
+};
+
+/// Outgoing multi-segment message: pack segments, then send.
+///
+///   PackBuilder pk(core);
+///   pk.pack(&header, sizeof header).pack(body.data(), body.size());
+///   Request* r = pk.isend(gate, tag);
+class PackBuilder {
+ public:
+  explicit PackBuilder(Core& core) : core_(core) {}
+
+  /// Append a segment (copied immediately; priced per byte).
+  PackBuilder& pack(const void* data, std::size_t len);
+  PackBuilder& pack(ConstIoSlice slice) { return pack(slice.base, slice.len); }
+
+  std::size_t packed_size() const { return buffer_.size(); }
+
+  /// Send the gathered message; the builder resets for reuse. The internal
+  /// buffer is owned by the returned request's lifetime (released with it).
+  Request* isend(Gate* gate, Tag tag);
+
+  /// Blocking variant.
+  void send(Gate* gate, Tag tag);
+
+ private:
+  Core& core_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Scatter an incoming message into multiple application buffers.
+///
+///   UnpackDest up(core);
+///   up.unpack(&header, sizeof header).unpack(body.data(), body.size());
+///   up.recv(gate, tag);   // blocking; or irecv + core.wait
+class UnpackDest {
+ public:
+  explicit UnpackDest(Core& core) : core_(core) {}
+
+  /// Append a destination segment.
+  UnpackDest& unpack(void* data, std::size_t len);
+  UnpackDest& unpack(IoSlice slice) { return unpack(slice.base, slice.len); }
+
+  std::size_t capacity() const;
+
+  /// Post the receive; on completion the staging buffer is scattered into
+  /// the registered segments (priced per byte). The returned request must
+  /// be waited via wait_and_scatter().
+  Request* irecv(Gate* gate, Tag tag);
+
+  /// Wait for @p req, scatter into the segments, release the request.
+  /// Returns the received byte count.
+  std::size_t wait_and_scatter(Request* req);
+
+  /// Blocking convenience: irecv + wait_and_scatter.
+  std::size_t recv(Gate* gate, Tag tag);
+
+ private:
+  Core& core_;
+  std::vector<IoSlice> slices_;
+  std::vector<std::uint8_t> staging_;
+};
+
+/// Scatter-gather one-shot helpers.
+Request* isend_v(Core& core, Gate* gate, Tag tag,
+                 const std::vector<ConstIoSlice>& slices);
+
+}  // namespace pm2::nm

@@ -1,0 +1,195 @@
+#include "nmad/strategy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nmad/wire_format.hpp"
+
+namespace pm2::nm {
+
+Strategy::~Strategy() = default;
+
+std::unique_ptr<Strategy> Strategy::make(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kDefault: return std::make_unique<DefaultStrategy>();
+    case StrategyKind::kAggreg: return std::make_unique<AggregStrategy>();
+    case StrategyKind::kSplit: return std::make_unique<SplitStrategy>();
+  }
+  return std::make_unique<DefaultStrategy>();
+}
+
+namespace {
+
+ChunkHeader header_for(const PackWrapper& pw, std::size_t chunk_len) {
+  ChunkHeader h;
+  switch (pw.kind) {
+    case PackWrapper::Kind::kEager: h.kind = ChunkKind::kEager; break;
+    case PackWrapper::Kind::kRts: h.kind = ChunkKind::kRts; break;
+    case PackWrapper::Kind::kCts: h.kind = ChunkKind::kCts; break;
+    case PackWrapper::Kind::kRdvData: h.kind = ChunkKind::kRdvData; break;
+  }
+  h.tag = pw.tag;
+  h.msg_seq = pw.msg_seq;
+  h.offset = static_cast<std::uint32_t>(pw.offset);
+  h.chunk_len = static_cast<std::uint32_t>(chunk_len);
+  h.total_len = static_cast<std::uint32_t>(pw.len);
+  h.cookie = pw.cookie;
+  return h;
+}
+
+}  // namespace
+
+void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
+                            const std::vector<Driver*>& rails,
+                            mth::ExecContext& ctx, std::size_t aggreg_budget,
+                            bool split_rdv, std::vector<Arranged>& out) {
+  assert(!rails.empty());
+  sim::Time cost = 0;
+  // Control and eager data are FIFO on rail 0 (see rail policy above); if
+  // rail 0 is backed up, leave everything in the collect lists for a later
+  // round (a tx completion will trigger one).
+  if (!rails[0]->ready()) {
+    ctx.charge(cost);
+    return;
+  }
+
+  PacketBuilder builder;
+  std::vector<Request*> accounted;
+
+  auto account_chunk = [&](PackWrapper& pw, std::size_t chunk_len) {
+    (void)chunk_len;
+    cost += cfg.strategy_chunk_cost;
+    // Data-bearing wrappers complete via wire-done accounting, including
+    // zero-length messages; RTS completion instead awaits the bulk data.
+    if (pw.req != nullptr && (pw.kind == PackWrapper::Kind::kEager ||
+                              pw.kind == PackWrapper::Kind::kRdvData)) {
+      ++pw.req->inflight_chunks_;
+      accounted.push_back(pw.req);
+    }
+  };
+  auto flush = [&](int rail, net::Channel trk) {
+    if (builder.chunk_count() == 0) return;
+    Arranged a;
+    a.rail = rail;
+    a.pkt.trk = trk;
+    a.pkt.dst_port = gate.peer_port(rail);
+    a.pkt.payload = builder.take();
+    a.pkt.accounted = std::move(accounted);
+    accounted.clear();
+    out.push_back(std::move(a));
+    cost += cfg.strategy_packet_cost;
+  };
+
+  // 1. Protocol control chunks (RTS / CTS) ride first, aggregated.
+  while (!gate.ctrl_list_.empty()) {
+    PackWrapper& pw = gate.ctrl_list_.front();
+    builder.add_chunk(header_for(pw, 0), nullptr);
+    account_chunk(pw, 0);
+    gate.ctrl_list_.pop_front();
+  }
+
+  // 2. Eager data, FIFO, whole messages only.
+  while (!gate.out_list_.empty() && out.size() < cfg.max_packets_per_round) {
+    PackWrapper& pw = gate.out_list_.front();
+    if (pw.kind == PackWrapper::Kind::kRdvData) break;  // bulk: step 3
+    assert(pw.kind == PackWrapper::Kind::kEager);
+    const std::size_t len = pw.remaining();
+    const bool fits_aggregate =
+        aggreg_budget > 0 && builder.size_with(len) <= aggreg_budget;
+    if (!fits_aggregate && builder.chunk_count() > 0) {
+      flush(0, kTrkSmall);  // close the current aggregate first
+    }
+    builder.add_chunk(header_for(pw, len), pw.data + pw.offset);
+    account_chunk(pw, len);
+    pw.offset += len;
+    pw.req->filled_ = pw.len;
+    pw.req->fully_submitted_ = true;
+    gate.out_list_.pop_front();
+    if (!fits_aggregate) flush(0, kTrkSmall);
+  }
+  flush(0, kTrkSmall);
+
+  // 3. Rendezvous bulk data on trk 1, optionally split across rails.
+  while (!gate.out_list_.empty() && out.size() < cfg.max_packets_per_round &&
+         gate.out_list_.front().kind == PackWrapper::Kind::kRdvData) {
+    PackWrapper& pw = gate.out_list_.front();
+    std::vector<int> ready;
+    for (std::size_t r = 0; r < rails.size(); ++r) {
+      if (rails[r]->ready()) ready.push_back(static_cast<int>(r));
+    }
+    if (ready.empty()) break;
+    if (!split_rdv || ready.size() < 2 || pw.remaining() < cfg.split_min) {
+      // Whole remaining payload on the first ready rail.
+      const int rail = ready.front();
+      const std::size_t len = pw.remaining();
+      builder.add_chunk(header_for(pw, len), pw.data + pw.offset);
+      account_chunk(pw, len);
+      pw.offset += len;
+      flush(rail, kTrkBulk);
+    } else {
+      // Weight rails by bandwidth (inverse of ns/byte).
+      double total_weight = 0;
+      for (int r : ready) {
+        total_weight += 1.0 / rails[static_cast<std::size_t>(r)]
+                                  ->nic()
+                                  .params()
+                                  .wire_ns_per_byte;
+      }
+      const std::size_t total = pw.remaining();
+      std::size_t assigned = 0;
+      for (std::size_t i = 0; i < ready.size(); ++i) {
+        const int r = ready[i];
+        std::size_t len;
+        if (i + 1 == ready.size()) {
+          len = total - assigned;  // remainder
+        } else {
+          const double w = (1.0 / rails[static_cast<std::size_t>(r)]
+                                      ->nic()
+                                      .params()
+                                      .wire_ns_per_byte) /
+                           total_weight;
+          len = std::min<std::size_t>(
+              total - assigned,
+              static_cast<std::size_t>(static_cast<double>(total) * w));
+        }
+        if (len == 0) continue;
+        builder.add_chunk(header_for(pw, len), pw.data + pw.offset);
+        account_chunk(pw, len);
+        pw.offset += len;
+        assigned += len;
+        flush(r, kTrkBulk);
+      }
+    }
+    if (pw.remaining() == 0) {
+      pw.req->filled_ = pw.len;
+      pw.req->fully_submitted_ = true;
+      gate.out_list_.pop_front();
+    }
+  }
+
+  ctx.charge(cost);
+}
+
+void DefaultStrategy::arrange(const Config& cfg, Gate& gate,
+                              const std::vector<Driver*>& rails,
+                              mth::ExecContext& ctx,
+                              std::vector<Arranged>& out) {
+  arrange_fifo(cfg, gate, rails, ctx, /*aggreg_budget=*/0,
+               /*split_rdv=*/false, out);
+}
+
+void AggregStrategy::arrange(const Config& cfg, Gate& gate,
+                             const std::vector<Driver*>& rails,
+                             mth::ExecContext& ctx,
+                             std::vector<Arranged>& out) {
+  arrange_fifo(cfg, gate, rails, ctx, cfg.aggreg_max, /*split_rdv=*/false,
+               out);
+}
+
+void SplitStrategy::arrange(const Config& cfg, Gate& gate,
+                            const std::vector<Driver*>& rails,
+                            mth::ExecContext& ctx, std::vector<Arranged>& out) {
+  arrange_fifo(cfg, gate, rails, ctx, cfg.aggreg_max, /*split_rdv=*/true, out);
+}
+
+}  // namespace pm2::nm

@@ -1,0 +1,79 @@
+// pm2sim -- optimization-layer strategies (paper Fig. 1, "Optimization
+// Layer"): when a NIC can accept work, a strategy inspects the gate's
+// collect lists and arranges the best packet(s) to commit to the transfer
+// layer -- aggregating small messages, splitting bulk data across rails.
+//
+// Rail policy (and why): control and eager data always travel on rail 0 so
+// that per-(gate, tag) FIFO ordering is guaranteed by the in-order wire;
+// only *bound* rendezvous data -- whose matching was already established by
+// the RTS/CTS handshake -- may be split across rails, where reordering is
+// harmless because chunks carry explicit offsets.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nmad/driver.hpp"
+#include "nmad/gate.hpp"
+#include "nmad/types.hpp"
+#include "simthread/exec_context.hpp"
+
+namespace pm2::nm {
+
+class Strategy {
+ public:
+  virtual ~Strategy();
+
+  virtual const char* name() const = 0;
+
+  /// Arrange chunks from @p gate's lists into packets. The caller holds the
+  /// collect lock. Emits StagedPackets (rail index in StagedPacket order is
+  /// carried separately via the .rail field below). Charges arrangement CPU
+  /// to @p ctx. May emit nothing (e.g. no rail has room).
+  struct Arranged {
+    int rail = 0;
+    StagedPacket pkt;
+  };
+  virtual void arrange(const Config& cfg, Gate& gate,
+                       const std::vector<Driver*>& rails,
+                       mth::ExecContext& ctx, std::vector<Arranged>& out) = 0;
+
+  static std::unique_ptr<Strategy> make(StrategyKind kind);
+
+ protected:
+  /// Drain all control chunks (RTS/CTS) plus, under @p aggreg_budget, as
+  /// many whole eager messages as fit, into one packet on rail 0.
+  /// Oversized eager messages go whole into their own packet. Also emits
+  /// rendezvous data (unsplit) on rail 0. Shared by all strategies.
+  void arrange_fifo(const Config& cfg, Gate& gate,
+                    const std::vector<Driver*>& rails, mth::ExecContext& ctx,
+                    std::size_t aggreg_budget, bool split_rdv,
+                    std::vector<Arranged>& out);
+};
+
+/// FIFO, one message per packet, rail 0 only.
+class DefaultStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "default"; }
+  void arrange(const Config& cfg, Gate& gate, const std::vector<Driver*>& rails,
+               mth::ExecContext& ctx, std::vector<Arranged>& out) override;
+};
+
+/// Aggregates control chunks and small messages into shared packets
+/// (packet reordering/coalescing of the paper's core layer).
+class AggregStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "aggreg"; }
+  void arrange(const Config& cfg, Gate& gate, const std::vector<Driver*>& rails,
+               mth::ExecContext& ctx, std::vector<Arranged>& out) override;
+};
+
+/// Aggregation plus multirail distribution of rendezvous bulk data.
+class SplitStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "split"; }
+  void arrange(const Config& cfg, Gate& gate, const std::vector<Driver*>& rails,
+               mth::ExecContext& ctx, std::vector<Arranged>& out) override;
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,102 @@
+#include "nmad/wire_format.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pm2::nm {
+
+const char* to_string(ChunkKind k) {
+  switch (k) {
+    case ChunkKind::kEager: return "eager";
+    case ChunkKind::kRts: return "rts";
+    case ChunkKind::kCts: return "cts";
+    case ChunkKind::kRdvData: return "rdv-data";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& buf, std::size_t& pos, T* out) {
+  if (pos + sizeof(T) > buf.size()) return false;
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(buf[pos + i]) << (8 * i);
+  }
+  pos += sizeof(T);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+PacketBuilder::PacketBuilder() {
+  // Reserve the chunk-count slot.
+  put<std::uint16_t>(buf_, 0);
+}
+
+void PacketBuilder::add_chunk(const ChunkHeader& h, const std::uint8_t* data) {
+  assert((data != nullptr || h.chunk_len == 0) && "null data with bytes");
+  put<std::uint8_t>(buf_, static_cast<std::uint8_t>(h.kind));
+  put<std::uint64_t>(buf_, h.tag);
+  put<std::uint32_t>(buf_, h.msg_seq);
+  put<std::uint32_t>(buf_, h.offset);
+  put<std::uint32_t>(buf_, h.chunk_len);
+  put<std::uint32_t>(buf_, h.total_len);
+  put<std::uint64_t>(buf_, h.cookie);
+  if (h.chunk_len > 0) buf_.insert(buf_.end(), data, data + h.chunk_len);
+  ++count_;
+}
+
+std::vector<std::uint8_t> PacketBuilder::take() {
+  assert(count_ <= 0xFFFF);
+  buf_[0] = static_cast<std::uint8_t>(count_ & 0xFF);
+  buf_[1] = static_cast<std::uint8_t>(count_ >> 8);
+  std::vector<std::uint8_t> out = std::move(buf_);
+  buf_.clear();
+  count_ = 0;
+  put<std::uint16_t>(buf_, 0);
+  return out;
+}
+
+PacketReader::PacketReader(const std::vector<std::uint8_t>& payload)
+    : buf_(payload) {
+  std::uint16_t count = 0;
+  if (!get(buf_, pos_, &count)) {
+    ok_ = false;
+    return;
+  }
+  remaining_ = count;
+}
+
+std::optional<ChunkHeader> PacketReader::next(const std::uint8_t** data_out) {
+  if (!ok_ || remaining_ == 0) return std::nullopt;
+  ChunkHeader h;
+  std::uint8_t kind = 0;
+  if (!get(buf_, pos_, &kind) || !get(buf_, pos_, &h.tag) ||
+      !get(buf_, pos_, &h.msg_seq) || !get(buf_, pos_, &h.offset) ||
+      !get(buf_, pos_, &h.chunk_len) || !get(buf_, pos_, &h.total_len) ||
+      !get(buf_, pos_, &h.cookie)) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  h.kind = static_cast<ChunkKind>(kind);
+  if (kind < 1 || kind > 4 || pos_ + h.chunk_len > buf_.size()) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  *data_out = h.chunk_len > 0 ? buf_.data() + pos_ : nullptr;
+  pos_ += h.chunk_len;
+  --remaining_;
+  return h;
+}
+
+}  // namespace pm2::nm

@@ -1,0 +1,98 @@
+// pm2sim -- on-the-wire format of NewMadeleine packets.
+//
+// A NIC packet payload carries one or more *chunks*, each with a fixed
+// binary header. Everything is serialized as real little-endian bytes: the
+// receive path decodes exactly what the send path encoded, as on real
+// hardware.
+//
+// Layout:
+//   packet payload := u16 chunk_count, chunk*
+//   chunk          := ChunkHeader (37 bytes), data[chunk_len]
+//
+// Chunk kinds:
+//   kEager   -- (a slice of) a small message; offset/total support both
+//               aggregation (several chunks per packet) and splitting
+//               (several packets per message, multirail).
+//   kRts     -- rendezvous request: announces (tag, msg_seq, total_len);
+//               cookie identifies the sender's request.
+//   kCts     -- rendezvous grant: echoes the cookie.
+//   kRdvData -- (a slice of) rendezvous bulk data, sent on trk 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nmad/types.hpp"
+
+namespace pm2::nm {
+
+enum class ChunkKind : std::uint8_t {
+  kEager = 1,
+  kRts = 2,
+  kCts = 3,
+  kRdvData = 4,
+};
+
+const char* to_string(ChunkKind k);
+
+struct ChunkHeader {
+  ChunkKind kind = ChunkKind::kEager;
+  Tag tag = 0;
+  std::uint32_t msg_seq = 0;    ///< per-gate, per-direction message number
+  std::uint32_t offset = 0;     ///< byte offset of this chunk in the message
+  std::uint32_t chunk_len = 0;  ///< bytes of data following this header
+  std::uint32_t total_len = 0;  ///< total message length
+  std::uint64_t cookie = 0;     ///< rendezvous correlation id
+
+  /// Serialized size of a chunk header in bytes.
+  static constexpr std::size_t kWireSize = 1 + 8 + 4 + 4 + 4 + 4 + 8;
+};
+
+/// Incrementally builds a packet payload.
+class PacketBuilder {
+ public:
+  PacketBuilder();
+
+  /// Append one chunk (header + data). @p data may be null iff len == 0.
+  void add_chunk(const ChunkHeader& h, const std::uint8_t* data);
+
+  std::size_t chunk_count() const { return count_; }
+  std::size_t payload_size() const { return buf_.size(); }
+
+  /// Size the payload would have after adding a chunk of @p data_len bytes.
+  std::size_t size_with(std::size_t data_len) const {
+    return buf_.size() + ChunkHeader::kWireSize + data_len;
+  }
+
+  /// Finalize and take the payload. The builder is reset for reuse.
+  std::vector<std::uint8_t> take();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t count_ = 0;
+};
+
+/// Decodes a packet payload chunk by chunk.
+class PacketReader {
+ public:
+  explicit PacketReader(const std::vector<std::uint8_t>& payload);
+
+  /// Chunks remaining.
+  std::size_t remaining() const { return remaining_; }
+
+  /// Read the next chunk. Returns nullopt (and poisons the reader) on a
+  /// malformed payload. @p data_out receives a pointer into the payload.
+  std::optional<ChunkHeader> next(const std::uint8_t** data_out);
+
+  /// True if the payload was well-formed so far.
+  bool ok() const { return ok_; }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+  std::size_t remaining_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,84 @@
+#include "pioman/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simcore/trace.hpp"
+
+namespace pm2::piom {
+
+PollSource::~PollSource() = default;
+
+Server::Server(mth::Scheduler& sched)
+    : sched_(sched), list_lock_(sched, "pioman-list") {}
+
+Server::~Server() { remove_hooks(); }
+
+void Server::register_source(PollSource* src) {
+  sources_.push_back(src);
+  notify_new_work();
+}
+
+void Server::unregister_source(PollSource* src) {
+  std::erase(sources_, src);
+}
+
+bool Server::has_pending(int core) const {
+  if (poll_core_ >= 0 && core >= 0 && core != poll_core_) return false;
+  for (const PollSource* s : sources_) {
+    if (!s->pending()) continue;
+    const int pref = s->preferred_core();
+    if (pref >= 0 && core >= 0 && pref != core) continue;
+    return true;
+  }
+  return false;
+}
+
+bool Server::poll_once(mth::ExecContext& ctx) {
+  ++passes_;
+  // Internal request-list management (Fig. 6's overhead).
+  ctx.charge(sched_.costs().pioman_pass);
+  // The server's lists are protected by a lock that hook/tasklet contexts
+  // may only try: skipping a pass is always safe (someone else is polling).
+  if (!list_lock_.try_lock()) {
+    ++skipped_passes_;
+    return false;
+  }
+  bool progressed = false;
+  const int core = ctx.core();
+  for (PollSource* s : sources_) {
+    const int pref = s->preferred_core();
+    if (pref >= 0 && pref != core) continue;
+    if (s->poll(ctx)) progressed = true;
+  }
+  list_lock_.unlock();
+  if (progressed) {
+    // Unlink satisfied requests from the internal lists and signal waiters.
+    ctx.charge(sched_.costs().pioman_completion);
+  }
+  return progressed;
+}
+
+void Server::enable_hooks() {
+  if (hooks_enabled()) return;
+  auto run = [this](mth::HookContext& hctx) {
+    if (!has_pending(hctx.core())) return;
+    poll_once(hctx);
+  };
+  auto want = [this](int core) { return has_pending(core); };
+  idle_hook_id_ = sched_.add_idle_hook(mth::Hook{run, want});
+  switch_hook_id_ = sched_.add_switch_hook(mth::Hook{run, nullptr});
+  timer_hook_id_ = sched_.add_timer_hook(mth::Hook{run, nullptr});
+  PM2_TRACE("pioman", kInfo, "hooks enabled (poll core binding: %d)",
+            poll_core_);
+}
+
+void Server::remove_hooks() {
+  if (!hooks_enabled()) return;
+  sched_.remove_idle_hook(idle_hook_id_);
+  sched_.remove_switch_hook(switch_hook_id_);
+  sched_.remove_timer_hook(timer_hook_id_);
+  idle_hook_id_ = switch_hook_id_ = timer_hook_id_ = -1;
+}
+
+}  // namespace pm2::piom

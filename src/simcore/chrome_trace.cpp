@@ -1,0 +1,103 @@
+#include "simcore/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pm2::sim {
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Virtual nanoseconds -> trace microseconds (fractional).
+double to_trace_us(Time t) { return static_cast<double>(t) / 1e3; }
+}  // namespace
+
+void ChromeTrace::complete_event(const std::string& name,
+                                 const std::string& category, int pid, int tid,
+                                 Time start, Time duration) {
+  events_.push_back(Event{'X', name, category, pid, tid, start, duration, 0, {}});
+}
+
+void ChromeTrace::instant_event(const std::string& name,
+                                const std::string& category, int pid, int tid,
+                                Time t) {
+  events_.push_back(Event{'i', name, category, pid, tid, t, 0, 0, {}});
+}
+
+void ChromeTrace::counter_event(const std::string& name, int pid, Time t,
+                                double value) {
+  events_.push_back(Event{'C', name, "counter", pid, 0, t, 0, value, {}});
+}
+
+void ChromeTrace::set_process_name(int pid, const std::string& name) {
+  events_.push_back(Event{'M', name, {}, pid, 0, 0, 0, 0, "process_name"});
+}
+
+void ChromeTrace::set_thread_name(int pid, int tid, const std::string& name) {
+  events_.push_back(Event{'M', name, {}, pid, tid, 0, 0, 0, "thread_name"});
+}
+
+std::string ChromeTrace::to_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[160];
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"name\":\"";
+    append_escaped(out, e.phase == 'M' ? e.meta_kind : e.name);
+    out += "\"";
+    if (e.phase == 'M') {
+      out += ",\"args\":{\"name\":\"";
+      append_escaped(out, e.name);
+      out += "\"}";
+    } else {
+      out += ",\"cat\":\"";
+      append_escaped(out, e.category.empty() ? "sim" : e.category);
+      out += "\"";
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", to_trace_us(e.ts));
+      out += buf;
+      if (e.phase == 'X') {
+        std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", to_trace_us(e.dur));
+        out += buf;
+      }
+      if (e.phase == 'C') {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%g}", e.value);
+        out += buf;
+      }
+      if (e.phase == 'i') out += ",\"s\":\"t\"";
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d}", e.pid, e.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void ChromeTrace::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("ChromeTrace: cannot open " + path);
+  f << to_json();
+  if (!f) throw std::runtime_error("ChromeTrace: write failed: " + path);
+}
+
+}  // namespace pm2::sim

@@ -1,0 +1,57 @@
+// pm2sim -- Chrome trace-event timeline export.
+//
+// Records spans and instants on the virtual clock and writes the Chrome
+// trace-event JSON format (load in chrome://tracing or https://ui.perfetto.dev):
+// processes = simulated nodes, threads = cores. The scheduler and the NICs
+// feed this when a Cluster has its timeline enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace pm2::sim {
+
+class ChromeTrace {
+ public:
+  /// A completed span of [start, start+duration) on (pid, tid).
+  void complete_event(const std::string& name, const std::string& category,
+                      int pid, int tid, Time start, Time duration);
+
+  /// A point event.
+  void instant_event(const std::string& name, const std::string& category,
+                     int pid, int tid, Time t);
+
+  /// Counter sample (renders as a chart track).
+  void counter_event(const std::string& name, int pid, Time t, double value);
+
+  /// Metadata: display names for processes (nodes) and threads (cores).
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Serialize to trace-event JSON.
+  std::string to_json() const;
+
+  /// Write to a file; throws on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+    std::string name;
+    std::string category;
+    int pid = 0;
+    int tid = 0;
+    Time ts = 0;
+    Time dur = 0;
+    double value = 0;
+    std::string meta_kind;  // for 'M': "process_name" / "thread_name"
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace pm2::sim

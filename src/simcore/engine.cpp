@@ -1,0 +1,44 @@
+#include "simcore/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pm2::sim {
+
+EventHandle Engine::schedule_at(Time when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::logic_error("Engine::schedule_at: time " + format_time(when) +
+                           " is in the past (now = " + format_time(now_) + ")");
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+EventHandle Engine::schedule_after(Time delay, EventQueue::Callback cb) {
+  assert(delay >= 0 && "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [when, cb] = queue_.pop();
+  assert(when >= now_ && "event queue went backwards");
+  now_ = when;
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Engine::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && queue_.next_time() <= deadline && step()) {
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace pm2::sim

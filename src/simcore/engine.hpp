@@ -1,0 +1,77 @@
+// pm2sim -- the discrete-event engine.
+//
+// One Engine owns the virtual clock of an entire simulated cluster. Every
+// higher layer (machine model, thread scheduler, NICs, locks) expresses the
+// passage of time as events scheduled here. The engine is strictly
+// single-host-threaded and deterministic: identical programs produce
+// identical event orders and identical virtual timestamps on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/time.hpp"
+
+namespace pm2::sim {
+
+/// Discrete-event simulation engine: a virtual clock plus an event queue.
+///
+/// Usage pattern:
+/// ```
+/// Engine eng;
+/// eng.schedule_after(microseconds(3), [] { ... });
+/// eng.run();                 // until no event remains
+/// ```
+/// Components never busy-wait on the host: "waiting" is always expressed as
+/// a scheduled wake-up event or by simply not being scheduled at all.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule a callback at absolute virtual time @p when.
+  /// @p when must not be in the past.
+  EventHandle schedule_at(Time when, EventQueue::Callback cb);
+
+  /// Schedule a callback @p delay nanoseconds from now (delay >= 0).
+  EventHandle schedule_after(Time delay, EventQueue::Callback cb);
+
+  /// Cancel a pending event. Safe on fired/cancelled handles.
+  bool cancel(EventHandle& h) { return queue_.cancel(h); }
+
+  /// Run until the queue drains or stop() is called.
+  void run();
+
+  /// Run events up to and including time @p deadline; the clock is left at
+  /// min(deadline, time of last fired event >= now).
+  void run_until(Time deadline);
+
+  /// Run exactly one event if any is pending. Returns false if queue empty.
+  bool step();
+
+  /// Request run()/run_until() to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// True if stop() was called during the current/last run.
+  bool stopped() const { return stopped_; }
+
+  /// Number of live pending events.
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction (diagnostics / tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pm2::sim

@@ -1,0 +1,48 @@
+#include "simcore/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pm2::sim {
+
+EventHandle EventQueue::schedule(Time when, Callback cb) {
+  auto dead = std::make_shared<bool>(false);
+  heap_.push_back(Entry{when, seq_++, std::move(cb), dead});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle(std::move(dead));
+}
+
+bool EventQueue::cancel(EventHandle& h) {
+  if (!h.pending()) return false;
+  *h.state_ = true;
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && *heap_.front().dead) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_dead();
+  return heap_.empty() ? kTimeInfinity : heap_.front().when;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  *e.dead = true;  // mark fired so handles see it as no-longer-pending
+  assert(live_ > 0);
+  --live_;
+  return {e.when, std::move(e.cb)};
+}
+
+}  // namespace pm2::sim

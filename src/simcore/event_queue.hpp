@@ -1,0 +1,98 @@
+// pm2sim -- cancellable time-ordered event queue.
+//
+// The queue is the heart of the discrete-event engine: a binary heap of
+// (time, sequence, callback) entries. Ties on time are broken by insertion
+// order so that simulation runs are fully deterministic.
+//
+// Cancellation is lazy: cancel() marks the entry dead; dead entries are
+// dropped when they reach the top of the heap. This keeps both schedule()
+// and cancel() O(log n) / O(1) without heap surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace pm2::sim {
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+///
+/// Handles are cheap to copy and outlive the event safely: cancelling an
+/// already-fired (or already-cancelled) event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled yet.
+  bool pending() const { return state_ && !*state_; }
+
+  /// True if this handle refers to some event (even one that already fired).
+  bool valid() const { return static_cast<bool>(state_); }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  // *state_ == true  <=>  event is dead (fired or cancelled).
+  std::shared_ptr<bool> state_;
+};
+
+/// Min-heap of timed callbacks with deterministic tie-breaking and lazy
+/// cancellation. Not thread-safe: the whole simulation is single-threaded
+/// by design.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedule @p cb to fire at absolute time @p when.
+  EventHandle schedule(Time when, Callback cb);
+
+  /// Cancel a previously scheduled event. No-op if already fired/cancelled.
+  /// Returns true if the event was pending and is now cancelled.
+  bool cancel(EventHandle& h);
+
+  /// True if no live event remains.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live (pending) events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kTimeInfinity if empty.
+  Time next_time();
+
+  /// Pop the earliest live event. Pre: !empty().
+  /// Returns its (time, callback); the callback is not invoked here so the
+  /// engine can advance the clock first.
+  std::pair<Time, Callback> pop();
+
+  /// Total number of events ever scheduled (diagnostics).
+  std::uint64_t total_scheduled() const { return seq_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> dead;  // shared with the EventHandle
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::vector<Entry> heap_;
+  std::size_t live_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pm2::sim

@@ -1,0 +1,45 @@
+// pm2sim -- deterministic pseudo-random source (splitmix64 + xoshiro256**).
+//
+// Workload generators must not depend on std::mt19937's unspecified
+// distribution implementations across standard libraries, so distributions
+// are implemented here directly. Same seed => same stream, everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace pm2::sim {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, well-distributed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. Pre: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Pre: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with mean @p mean (> 0); used for arrival processes.
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Split off an independent generator (for per-component determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pm2::sim

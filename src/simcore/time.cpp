@@ -1,0 +1,24 @@
+#include "simcore/time.hpp"
+
+#include <cstdio>
+
+namespace pm2::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double ns = static_cast<double>(t);
+  if (t < 0) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  } else if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace pm2::sim

@@ -1,0 +1,113 @@
+#include "simcore/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "simcore/engine.hpp"
+
+namespace pm2::sim {
+
+namespace {
+
+struct TraceState {
+  TraceLevel default_level = TraceLevel::kOff;
+  std::map<std::string, TraceLevel> per_component;
+  const Engine* clock = nullptr;
+  bool env_checked = false;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+bool parse_level(const std::string& word, TraceLevel* out) {
+  if (word == "off") *out = TraceLevel::kOff;
+  else if (word == "error") *out = TraceLevel::kError;
+  else if (word == "warn") *out = TraceLevel::kWarn;
+  else if (word == "info") *out = TraceLevel::kInfo;
+  else if (word == "debug") *out = TraceLevel::kDebug;
+  else return false;
+  return true;
+}
+
+const char* level_tag(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kError: return "E";
+    case TraceLevel::kWarn: return "W";
+    case TraceLevel::kInfo: return "I";
+    case TraceLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void Trace::set_level(TraceLevel level) { state().default_level = level; }
+
+void Trace::set_level(const std::string& component, TraceLevel level) {
+  state().per_component[component] = level;
+}
+
+bool Trace::configure(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    TraceLevel level;
+    if (eq == std::string::npos) {
+      if (!parse_level(item, &level)) return false;
+      state().default_level = level;
+    } else {
+      if (!parse_level(item.substr(eq + 1), &level)) return false;
+      state().per_component[item.substr(0, eq)] = level;
+    }
+  }
+  return true;
+}
+
+void Trace::configure_from_env() {
+  TraceState& s = state();
+  if (s.env_checked) return;
+  s.env_checked = true;
+  if (const char* env = std::getenv("PM2SIM_TRACE")) {
+    if (!configure(env)) {
+      std::fprintf(stderr, "pm2sim: malformed PM2SIM_TRACE spec '%s'\n", env);
+    }
+  }
+}
+
+void Trace::attach_clock(const Engine* engine) { state().clock = engine; }
+
+bool Trace::enabled(const char* component, TraceLevel level) {
+  configure_from_env();
+  const TraceState& s = state();
+  auto it = s.per_component.find(component);
+  TraceLevel limit = it != s.per_component.end() ? it->second : s.default_level;
+  return static_cast<int>(level) <= static_cast<int>(limit);
+}
+
+void Trace::emit(const char* component, TraceLevel level, const char* fmt,
+                 ...) {
+  const TraceState& s = state();
+  char body[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  va_end(ap);
+  if (s.clock) {
+    std::fprintf(stderr, "[%12s] %s/%s: %s\n",
+                 format_time(s.clock->now()).c_str(), level_tag(level),
+                 component, body);
+  } else {
+    std::fprintf(stderr, "%s/%s: %s\n", level_tag(level), component, body);
+  }
+}
+
+}  // namespace pm2::sim

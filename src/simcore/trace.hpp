@@ -1,0 +1,61 @@
+// pm2sim -- lightweight component-scoped tracing.
+//
+// Tracing is off by default and costs one branch per call site when
+// disabled. Enable globally with `Trace::set_level(...)` or per component,
+// or via the PM2SIM_TRACE environment variable:
+//   PM2SIM_TRACE=debug                 -> everything at debug
+//   PM2SIM_TRACE=info,nmad=debug       -> info default, nmad at debug
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace pm2::sim {
+
+class Engine;
+
+enum class TraceLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Global trace configuration + emission. All state is process-global since
+/// the simulator is single-threaded.
+class Trace {
+ public:
+  /// Set the default level for all components.
+  static void set_level(TraceLevel level);
+
+  /// Set the level for one component (e.g. "nmad", "pioman", "sched").
+  static void set_level(const std::string& component, TraceLevel level);
+
+  /// Parse a PM2SIM_TRACE-style spec; returns false on malformed input.
+  static bool configure(const std::string& spec);
+
+  /// Read PM2SIM_TRACE from the environment (called lazily on first use).
+  static void configure_from_env();
+
+  /// The engine whose clock timestamps trace lines (optional).
+  static void attach_clock(const Engine* engine);
+
+  static bool enabled(const char* component, TraceLevel level);
+
+  /// printf-style emission; cheap no-op when the component/level is off.
+  static void emit(const char* component, TraceLevel level, const char* fmt,
+                   ...) __attribute__((format(printf, 3, 4)));
+};
+
+}  // namespace pm2::sim
+
+/// Convenience macros: PM2_TRACE("nmad", kDebug, "posted pw %u", id);
+#define PM2_TRACE(component, level, ...)                                      \
+  do {                                                                        \
+    if (::pm2::sim::Trace::enabled((component), ::pm2::sim::TraceLevel::level)) \
+      ::pm2::sim::Trace::emit((component), ::pm2::sim::TraceLevel::level,     \
+                              __VA_ARGS__);                                   \
+  } while (0)

@@ -1,0 +1,19 @@
+#include "simmachine/cost_book.hpp"
+
+namespace pm2::mach {
+
+CostBook CostBook::xeon_quad() {
+  return CostBook{};  // defaults are the quad-core calibration
+}
+
+CostBook CostBook::xeon_dual_quad() {
+  CostBook c;
+  // The dual-socket Xeons pay more for any off-L2 handoff (FSB snooping):
+  // calibrated against the Sec. 4.1 prose (+400 ns / +2.3 us / +3.1 us).
+  c.line_shared_l2 = 75;
+  c.line_same_chip = 425;
+  c.line_other_chip = 575;
+  return c;
+}
+
+}  // namespace pm2::mach

@@ -1,0 +1,72 @@
+// pm2sim -- a simulated node: cores, caches, and the per-node cost model.
+//
+// Machine is passive: it describes hardware and prices operations. The
+// thread scheduler (src/simthread) animates its cores; NICs (src/simnet)
+// attach to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simcore/time.hpp"
+#include "simmachine/cost_book.hpp"
+#include "simmachine/topology.hpp"
+
+namespace pm2::mach {
+
+/// Ownership tag for one logical cache line.
+///
+/// Shared objects whose ping-ponging between cores matters (locks,
+/// completion flags, queue heads) embed a CacheLine; each access through
+/// Machine::touch_line() charges the transfer cost implied by the last
+/// owner and retags the line. This is the entire memory model — deliberately
+/// minimal, but sufficient to reproduce the affinity effects of Fig. 8.
+struct CacheLine {
+  int owner_core = -1;  ///< -1: not resident anywhere yet (first touch free)
+};
+
+/// One simulated node.
+class Machine {
+ public:
+  Machine(sim::Engine& engine, std::string name, CacheTopology topology,
+          CostBook costs);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const sim::Engine& engine() const { return engine_; }
+  const std::string& name() const { return name_; }
+  const CacheTopology& topology() const { return topology_; }
+  const CostBook& costs() const { return costs_; }
+  int num_cores() const { return topology_.num_cores(); }
+
+  /// Cost for @p core to obtain a line currently owned by core @p from
+  /// (0 if same core or not yet resident).
+  sim::Time line_transfer_cost(int from, int to) const;
+
+  /// Charge model for an access to a tagged shared line from @p core:
+  /// returns the transfer cost and retags the line to @p core.
+  sim::Time touch_line(CacheLine& line, int core);
+
+  /// Read-only probe: what would touch_line() cost, without retagging.
+  sim::Time peek_line(const CacheLine& line, int core) const;
+
+  /// Diagnostics: total number of inter-core line transfers so far.
+  std::uint64_t line_transfers() const { return line_transfers_; }
+
+  /// Diagnostics: total virtual time spent in line transfers.
+  sim::Time line_transfer_time() const { return line_transfer_time_; }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  CacheTopology topology_;
+  CostBook costs_;
+  std::uint64_t line_transfers_ = 0;
+  sim::Time line_transfer_time_ = 0;
+};
+
+}  // namespace pm2::mach

@@ -1,0 +1,53 @@
+#include "simmachine/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pm2::mach {
+
+const char* to_string(CacheDomain d) {
+  switch (d) {
+    case CacheDomain::kSameCore: return "same-core";
+    case CacheDomain::kSharedL2: return "shared-l2";
+    case CacheDomain::kSameChip: return "same-chip";
+    case CacheDomain::kOtherChip: return "other-chip";
+  }
+  return "?";
+}
+
+CacheTopology::CacheTopology(std::string name, std::vector<int> l2_of,
+                             std::vector<int> chip_of)
+    : name_(std::move(name)), l2_of_(std::move(l2_of)), chip_of_(std::move(chip_of)) {
+  if (l2_of_.empty() || l2_of_.size() != chip_of_.size()) {
+    throw std::invalid_argument("CacheTopology: inconsistent core tables");
+  }
+  num_chips_ = 1 + *std::max_element(chip_of_.begin(), chip_of_.end());
+}
+
+CacheTopology CacheTopology::quad_core() {
+  return CacheTopology("xeon-x5460-quad", {0, 0, 1, 1}, {0, 0, 0, 0});
+}
+
+CacheTopology CacheTopology::dual_quad_core() {
+  return CacheTopology("xeon-dual-quad", {0, 0, 1, 1, 2, 2, 3, 3},
+                       {0, 0, 0, 0, 1, 1, 1, 1});
+}
+
+CacheTopology CacheTopology::uniform(int cores, int cores_per_l2) {
+  if (cores < 1 || cores_per_l2 < 1) {
+    throw std::invalid_argument("CacheTopology::uniform: bad parameters");
+  }
+  std::vector<int> l2(static_cast<std::size_t>(cores));
+  std::vector<int> chip(static_cast<std::size_t>(cores), 0);
+  for (int c = 0; c < cores; ++c) l2[static_cast<std::size_t>(c)] = c / cores_per_l2;
+  return CacheTopology("uniform", std::move(l2), std::move(chip));
+}
+
+CacheDomain CacheTopology::domain(int a, int b) const {
+  if (a == b) return CacheDomain::kSameCore;
+  if (chip_of(a) != chip_of(b)) return CacheDomain::kOtherChip;
+  if (l2_of(a) == l2_of(b)) return CacheDomain::kSharedL2;
+  return CacheDomain::kSameChip;
+}
+
+}  // namespace pm2::mach

@@ -1,0 +1,63 @@
+// pm2sim -- core/cache topology of a simulated node.
+//
+// The paper's testbed (Sec. 2) is built from quad-core Xeon X5460
+// ("Harpertown") nodes: one chip carrying two L2 caches, each L2 shared by a
+// pair of cores. A second testbed (Sec. 4.1) uses dual quad-core nodes.
+// The topology only answers one question, the one Fig. 8 depends on: how
+// "far apart" are two cores, cache-wise?
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pm2::mach {
+
+/// Cache-distance classes between two cores, ordered by increasing cost.
+enum class CacheDomain {
+  kSameCore = 0,       ///< same core: data is in the local cache already
+  kSharedL2 = 1,       ///< different cores sharing an L2 (e.g. CPU 0 / CPU 1)
+  kSameChip = 2,       ///< same chip, different L2 (e.g. CPU 0 / CPU 2)
+  kOtherChip = 3,      ///< different chips (dual-socket nodes only)
+};
+
+const char* to_string(CacheDomain d);
+
+/// Immutable description of the cores of one node and their cache sharing.
+class CacheTopology {
+ public:
+  /// Xeon X5460-like quad-core: 1 chip, L2 pairs {0,1} and {2,3}.
+  static CacheTopology quad_core();
+
+  /// Dual quad-core node: chips {0..3} and {4..7}, L2 pairs {0,1} {2,3}
+  /// {4,5} {6,7}.
+  static CacheTopology dual_quad_core();
+
+  /// Generic uniform topology: @p cores cores, all on one chip, grouped into
+  /// L2 domains of @p cores_per_l2 consecutive cores.
+  static CacheTopology uniform(int cores, int cores_per_l2);
+
+  int num_cores() const { return static_cast<int>(l2_of_.size()); }
+  int num_chips() const { return num_chips_; }
+
+  /// L2 cache id of a core.
+  int l2_of(int core) const { return l2_of_.at(static_cast<std::size_t>(core)); }
+
+  /// Chip (socket) id of a core.
+  int chip_of(int core) const { return chip_of_.at(static_cast<std::size_t>(core)); }
+
+  /// Cache distance between two cores.
+  CacheDomain domain(int a, int b) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  CacheTopology(std::string name, std::vector<int> l2_of, std::vector<int> chip_of);
+
+  std::string name_;
+  std::vector<int> l2_of_;
+  std::vector<int> chip_of_;
+  int num_chips_ = 1;
+};
+
+}  // namespace pm2::mach

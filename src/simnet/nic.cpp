@@ -1,0 +1,153 @@
+#include "simnet/nic.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "simcore/chrome_trace.hpp"
+#include "simcore/trace.hpp"
+#include "simthread/exec_context.hpp"
+
+namespace pm2::net {
+
+namespace {
+sim::Time byte_time(double ns_per_byte, std::size_t bytes) {
+  return static_cast<sim::Time>(
+      std::llround(ns_per_byte * static_cast<double>(bytes)));
+}
+
+void charge_ctx(sim::Time t) {
+  if (auto* ctx = mth::ExecContext::current_or_null()) ctx->charge(t);
+}
+
+// Hook contexts accumulate their CPU cost instead of advancing the clock;
+// anything they do to the *timeline* (like starting a DMA) must be skewed
+// by the work they have already performed in this pass.
+sim::Time hook_skew() {
+  auto* ctx = mth::ExecContext::current_or_null();
+  if (ctx != nullptr && !ctx->can_block()) {
+    return static_cast<mth::HookContext*>(ctx)->consumed();
+  }
+  return 0;
+}
+}  // namespace
+
+Fabric::Fabric(sim::Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+int Fabric::attach(Nic* nic) {
+  ports_.push_back(nic);
+  port_busy_until_.push_back(0);
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void Fabric::deliver_at(sim::Time earliest, sim::Time occupancy, Packet pkt) {
+  // Output-port contention: packets from different senders converging on
+  // one port serialize on its egress link.
+  sim::Time& busy = port_busy_until_[static_cast<std::size_t>(pkt.dst_port)];
+  const sim::Time when = std::max(earliest, busy + occupancy);
+  busy = when;
+  engine_.schedule_at(when, [this, p = std::move(pkt)]() mutable {
+    Nic* dst = port(p.dst_port);
+    dst->enqueue_rx(std::move(p));
+  });
+}
+
+Nic::Nic(mach::Machine& machine, Fabric& fabric, NicParams params)
+    : machine_(machine), fabric_(fabric), params_(std::move(params)) {
+  port_ = fabric.attach(this);
+}
+
+SendHandle Nic::post_send(int dst_port, Channel channel,
+                          std::vector<std::uint8_t> payload,
+                          std::function<void()> on_wire_done) {
+  if (!tx_ready()) {
+    throw std::logic_error("Nic::post_send: tx queue full (check tx_ready)");
+  }
+  if (dst_port < 0 || dst_port >= fabric_.num_ports()) {
+    throw std::out_of_range("Nic::post_send: bad destination port");
+  }
+  const std::size_t size = payload.size();
+  // Host-side cost: descriptor plus either the PIO staging copy (small
+  // messages) or the constant DMA setup (large ones).
+  const sim::Time xfer_cpu =
+      size <= params_.pio_threshold
+          ? byte_time(params_.tx_copy_per_byte, size)
+          : params_.tx_dma_setup;
+  charge_ctx(params_.tx_post_cost + xfer_cpu);
+
+  Packet pkt;
+  pkt.src_port = port_;
+  pkt.dst_port = dst_port;
+  pkt.channel = channel;
+  pkt.seq = tx_seq_++;
+  pkt.payload = std::move(payload);
+
+  ++tx_inflight_;
+  ++packets_sent_;
+  bytes_sent_ += size;
+
+  sim::Engine& eng = fabric_.engine();
+  // NIC pipeline: DMA, then the wire serializes this packet after any
+  // packet already occupying our tx path. When posted from a hook, the
+  // hook's accumulated CPU time has not reached the clock yet: skew the
+  // pipeline start accordingly.
+  const sim::Time dma_done = eng.now() + hook_skew() + params_.tx_dma_delay;
+  const sim::Time wire_start = std::max(dma_done, tx_busy_until_);
+  const sim::Time wire_end =
+      wire_start + byte_time(params_.wire_ns_per_byte, size);
+  tx_busy_until_ = wire_end;
+
+  auto state = std::make_shared<bool>(false);
+  eng.schedule_at(wire_end, [this, state, done = std::move(on_wire_done)] {
+    *state = true;
+    assert(tx_inflight_ > 0);
+    --tx_inflight_;
+    if (done) done();
+    if (tx_notifier_) tx_notifier_();
+  });
+
+  if (timeline_ != nullptr) {
+    timeline_->complete_event(
+        "tx " + std::to_string(size) + "B -> port " + std::to_string(dst_port),
+        "nic", timeline_pid_, timeline_tid_, wire_start, wire_end - wire_start);
+  }
+
+  const sim::Time arrival =
+      wire_end + params_.wire_latency + params_.rx_deliver_delay;
+  PM2_TRACE("nic", kDebug, "port %d -> %d: %zu B ch%u seq %llu, arrives %s",
+            port_, dst_port, size, static_cast<unsigned>(channel),
+            static_cast<unsigned long long>(pkt.seq),
+            sim::format_time(arrival).c_str());
+  fabric_.deliver_at(arrival, byte_time(params_.wire_ns_per_byte, size),
+                     std::move(pkt));
+  return SendHandle(std::move(state));
+}
+
+void Nic::enqueue_rx(Packet pkt) {
+  ++packets_received_;
+  bytes_received_ += pkt.size();
+  if (timeline_ != nullptr) {
+    timeline_->instant_event(
+        "rx " + std::to_string(pkt.size()) + "B <- port " +
+            std::to_string(pkt.src_port),
+        "nic", timeline_pid_, timeline_tid_, fabric_.engine().now());
+  }
+  rx_queue_.push_back(std::move(pkt));
+  if (rx_notifier_) rx_notifier_();
+}
+
+std::optional<Packet> Nic::poll() {
+  if (rx_queue_.empty()) {
+    ++polls_empty_;
+    charge_ctx(params_.poll_empty_cost);
+    return std::nullopt;
+  }
+  ++polls_hit_;
+  charge_ctx(params_.poll_hit_cost);
+  Packet pkt = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  return pkt;
+}
+
+}  // namespace pm2::net

@@ -1,0 +1,175 @@
+// pm2sim -- NIC and fabric: a reliable, in-order, polled packet transport.
+//
+// The interface deliberately mirrors MX's shape as the paper's drivers use
+// it: post a send, poll a completion queue, no interrupts (PIOMan supplies
+// the "when to poll" policy above this layer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simmachine/machine.hpp"
+#include "simnet/packet.hpp"
+#include "simnet/params.hpp"
+
+namespace pm2::sim {
+class ChromeTrace;
+}
+
+namespace pm2::net {
+
+class Nic;
+
+/// A switched fabric: every attached NIC can reach every other. Wire timing
+/// uses the sending NIC's parameters, so heterogeneous fabrics behave like
+/// their slowest path.
+class Fabric {
+ public:
+  explicit Fabric(sim::Engine& engine, std::string name = "fabric");
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const std::string& name() const { return name_; }
+
+  /// Attach a NIC; returns its port id on this fabric.
+  int attach(Nic* nic);
+
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  Nic* port(int id) const { return ports_.at(static_cast<std::size_t>(id)); }
+
+ private:
+  friend class Nic;
+  /// Deliver @p pkt to its dst_port. @p earliest is when the last bit
+  /// could arrive if the receiving port were idle; with several senders
+  /// converging on one port (incast), the switch serializes them: each
+  /// packet additionally occupies the destination port for its
+  /// serialization time @p occupancy.
+  void deliver_at(sim::Time earliest, sim::Time occupancy, Packet pkt);
+
+  sim::Engine& engine_;
+  std::string name_;
+  std::vector<Nic*> ports_;
+  std::vector<sim::Time> port_busy_until_;
+};
+
+/// Identifies an in-flight send; completes when the wire has absorbed the
+/// packet (the sender may then reuse its buffer and post the next one).
+class SendHandle {
+ public:
+  SendHandle() = default;
+  bool valid() const { return static_cast<bool>(state_); }
+  bool done() const { return state_ && *state_; }
+
+ private:
+  friend class Nic;
+  explicit SendHandle(std::shared_ptr<bool> s) : state_(std::move(s)) {}
+  std::shared_ptr<bool> state_;
+};
+
+class Nic {
+ public:
+  /// Create a NIC on @p machine attached to @p fabric.
+  Nic(mach::Machine& machine, Fabric& fabric, NicParams params);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  mach::Machine& machine() const { return machine_; }
+  const NicParams& params() const { return params_; }
+  Fabric& fabric() const { return fabric_; }
+  int port() const { return port_; }
+
+  // --- send path -----------------------------------------------------------
+
+  /// True if the tx queue has room for another post.
+  bool tx_ready() const {
+    return static_cast<int>(tx_inflight_) < params_.tx_queue_depth;
+  }
+
+  /// Packets posted and not yet absorbed by the wire.
+  std::size_t tx_inflight() const { return tx_inflight_; }
+
+  /// True if the transmit path is completely idle (the moment the
+  /// NIC-driven optimization layer waits for, paper Fig. 1).
+  bool tx_idle() const { return tx_inflight_ == 0; }
+
+  /// Post one packet. Charges the host-side post cost to the current
+  /// execution context (if any). Pre: tx_ready().
+  /// @p on_wire_done, if given, fires (in engine context) once the wire has
+  /// absorbed the packet -- the moment the sender's buffer is reusable.
+  SendHandle post_send(int dst_port, Channel channel,
+                       std::vector<std::uint8_t> payload,
+                       std::function<void()> on_wire_done = nullptr);
+
+  /// Notifier invoked (in engine context) whenever a tx slot frees up.
+  void set_tx_notifier(std::function<void()> fn) { tx_notifier_ = std::move(fn); }
+
+  // --- receive path ----------------------------------------------------------
+
+  /// Unpriced peek used by progression engines to decide whether polling
+  /// is worth pricing. (A real driver reads a doorbell/seqno word; the
+  /// price of that read is folded into poll()'s cost.)
+  bool rx_pending() const { return !rx_queue_.empty(); }
+
+  /// Poll the completion queue: pops the oldest delivered packet, if any.
+  /// Charges poll_hit/poll_empty to the current context. Payload copy-out
+  /// costs are charged by the consuming layer (it knows the user buffer).
+  std::optional<Packet> poll();
+
+  /// Notifier invoked (in engine context) at each packet arrival.
+  void set_rx_notifier(std::function<void()> fn) { rx_notifier_ = std::move(fn); }
+
+  /// Attach a Chrome-trace timeline: tx/rx instants recorded under
+  /// (pid=@p pid, tid=@p tid).
+  void set_timeline(sim::ChromeTrace* timeline, int pid, int tid) {
+    timeline_ = timeline;
+    timeline_pid_ = pid;
+    timeline_tid_ = tid;
+  }
+
+  // --- statistics -------------------------------------------------------------
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t polls_empty() const { return polls_empty_; }
+  std::uint64_t polls_hit() const { return polls_hit_; }
+
+ private:
+  friend class Fabric;
+  void enqueue_rx(Packet pkt);
+
+  mach::Machine& machine_;
+  Fabric& fabric_;
+  NicParams params_;
+  int port_;
+
+  sim::Time tx_busy_until_ = 0;
+  std::size_t tx_inflight_ = 0;
+  std::uint64_t tx_seq_ = 0;
+  std::function<void()> tx_notifier_;
+
+  std::deque<Packet> rx_queue_;
+  std::function<void()> rx_notifier_;
+  sim::ChromeTrace* timeline_ = nullptr;
+  int timeline_pid_ = 0;
+  int timeline_tid_ = 0;
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t polls_empty_ = 0;
+  std::uint64_t polls_hit_ = 0;
+};
+
+}  // namespace pm2::net

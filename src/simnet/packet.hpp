@@ -1,0 +1,26 @@
+// pm2sim -- the unit the fabric moves: an opaque byte payload plus minimal
+// link-level framing. All higher-level structure (NewMadeleine headers,
+// aggregated sub-messages, rendezvous control) lives inside the payload,
+// serialized as real bytes, exactly as on a real NIC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pm2::net {
+
+/// Link-level channel, used by NewMadeleine to separate its two tracks
+/// (trk0 = small/control, trk1 = bulk) on one NIC.
+using Channel = std::uint8_t;
+
+struct Packet {
+  int src_port = -1;
+  int dst_port = -1;
+  Channel channel = 0;
+  std::uint64_t seq = 0;  ///< per-NIC monotonic sequence (diagnostics)
+  std::vector<std::uint8_t> payload;
+
+  std::size_t size() const { return payload.size(); }
+};
+
+}  // namespace pm2::net

@@ -1,0 +1,42 @@
+#include "simnet/params.hpp"
+
+namespace pm2::net {
+
+NicParams NicParams::myri10g() {
+  NicParams p;
+  p.name = "myri-10g";
+  // Defaults are the Myri-10G calibration.
+  return p;
+}
+
+NicParams NicParams::connectx_ib() {
+  NicParams p;
+  p.name = "connectx-ib-ddr";
+  p.tx_post_cost = 250;
+  p.tx_copy_per_byte = 0.5;
+  p.poll_empty_cost = 70;
+  p.poll_hit_cost = 130;
+  p.rx_copy_per_byte = 0.5;
+  p.tx_dma_delay = 150;
+  p.wire_ns_per_byte = 0.55;  // DDR 4x: ~1.8 GB/s effective
+  p.wire_latency = 900;
+  p.rx_deliver_delay = 150;
+  return p;
+}
+
+NicParams NicParams::tcp_gige() {
+  NicParams p;
+  p.name = "tcp-gige";
+  p.tx_post_cost = 4000;  // kernel socket path
+  p.tx_copy_per_byte = 1.0;
+  p.poll_empty_cost = 500;
+  p.poll_hit_cost = 2000;
+  p.rx_copy_per_byte = 1.0;
+  p.tx_dma_delay = 2000;
+  p.wire_ns_per_byte = 8.0;  // 1 Gb/s
+  p.wire_latency = 20000;
+  p.rx_deliver_delay = 3000;
+  return p;
+}
+
+}  // namespace pm2::net

@@ -1,0 +1,85 @@
+#include "simthread/fiber.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace pm2::mth {
+
+Fiber* Fiber::current_ = nullptr;
+
+namespace {
+constexpr std::size_t kMinStack = 64 * 1024;
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
+    : body_(std::move(body)),
+      stack_(stack_size < kMinStack ? kMinStack : stack_size) {}
+
+Fiber::~Fiber() {
+  // Destroying a live suspended fiber leaks whatever its stack owned; the
+  // scheduler keeps threads alive until the whole world is torn down, so
+  // this only happens for programs abandoned mid-run (e.g. deadlock tests).
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+             static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(ptr)->run_body();
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pm2sim: uncaught exception in fiber: %s\n", e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "pm2sim: uncaught exception in fiber\n");
+    std::abort();
+  }
+  finished_ = true;
+  // Return to the last resumer; this context is never entered again.
+  active_ = false;
+  current_ = nullptr;
+  swapcontext(&ctx_, &return_ctx_);
+  // Unreachable: resume() refuses finished fibers.
+  std::abort();
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resume() on finished fiber");
+  assert(current_ == nullptr && "resume() called from inside a fiber");
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&ctx_) != 0) {
+      std::perror("getcontext");
+      std::abort();
+    }
+    ctx_.uc_stack.ss_sp = stack_.data();
+    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_link = nullptr;
+    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xffffffffu));
+  }
+  active_ = true;
+  current_ = this;
+  swapcontext(&return_ctx_, &ctx_);
+  // Back from the fiber: it either suspended or finished.
+  current_ = nullptr;
+}
+
+void Fiber::suspend() {
+  assert(current_ == this && "suspend() called from outside the fiber");
+  active_ = false;
+  current_ = nullptr;
+  swapcontext(&ctx_, &return_ctx_);
+  // Resumed again.
+  active_ = true;
+  current_ = this;
+}
+
+}  // namespace pm2::mth

@@ -1,0 +1,66 @@
+// pm2sim -- stackful coroutines (fibers) over POSIX ucontext.
+//
+// Every simulated thread body runs on its own fiber so that benchmark and
+// application code can be written as ordinary sequential C++ (loops, RAII,
+// blocking calls); the scheduler suspends/resumes fibers as virtual time
+// dictates. Only the engine/scheduler context ever resumes a fiber, and a
+// fiber never resumes another fiber, so the switch discipline is strictly
+// two-level.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pm2::mth {
+
+/// A stackful coroutine. Not copyable, not movable (the stack address is
+/// baked into the saved context).
+class Fiber {
+ public:
+  /// Create a fiber that will execute @p body on its first resume().
+  /// @p stack_size is rounded up to a sane minimum.
+  explicit Fiber(std::function<void()> body, std::size_t stack_size = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run the fiber until it suspends or finishes. Must not be called from
+  /// inside any fiber. Pre: !finished().
+  void resume();
+
+  /// Suspend this fiber, returning control to the resume() caller.
+  /// Must be called from inside this fiber.
+  void suspend();
+
+  /// True once body() has returned.
+  bool finished() const { return finished_; }
+
+  /// True while the fiber is the one currently executing.
+  bool active() const { return active_; }
+
+  /// The fiber currently executing on this host thread, or nullptr when in
+  /// the engine/scheduler context.
+  static Fiber* current() { return current_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  std::function<void()> body_;
+  std::vector<std::uint8_t> stack_;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  bool started_ = false;
+  bool finished_ = false;
+  bool active_ = false;
+
+  static Fiber* current_;
+};
+
+}  // namespace pm2::mth

@@ -1,0 +1,193 @@
+// pm2sim -- the two-level thread scheduler (our Marcel).
+//
+// One Scheduler animates the cores of one Machine. It is modelled on
+// Marcel's design as the paper uses it:
+//
+//  * user-level threads (fibers) multiplexed on per-core runqueues,
+//  * optional per-thread core binding,
+//  * preemptive round-robin at a configurable timeslice,
+//  * and -- the part the paper's Sections 3.3/4 depend on -- *progression
+//    hooks*: registered callbacks invoked when a core is idle, on context
+//    switches, and on timer ticks, which PIOMan uses to poll networks on
+//    otherwise-unused cycles.
+//
+// All thread-facing operations (work, yield, sleep, block) must be invoked
+// from inside a simulated thread; world-facing operations (spawn, wake,
+// hook registration) may be invoked from anywhere.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simcore/time.hpp"
+#include "simmachine/machine.hpp"
+#include "simthread/exec_context.hpp"
+#include "simthread/thread.hpp"
+
+namespace pm2::sim {
+class ChromeTrace;
+}
+
+namespace pm2::mth {
+
+/// A progression hook. `run` performs (and prices, via the HookContext) a
+/// bounded amount of work; `want` reports whether the hook has potential
+/// work for a core, which gates the idle loop's re-arming.
+struct Hook {
+  std::function<void(HookContext&)> run;
+  std::function<bool(int core)> want;  ///< may be null => "never pending"
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(mach::Machine& machine);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  mach::Machine& machine() const { return machine_; }
+  sim::Engine& engine() const { return machine_.engine(); }
+  const mach::CostBook& costs() const { return machine_.costs(); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  // --- world-facing -------------------------------------------------------
+
+  /// Create a thread; it becomes runnable immediately.
+  Thread* spawn(ThreadFunc body, ThreadAttrs attrs = {});
+
+  /// Move a Blocked thread back to a runqueue. Callable from any context.
+  void wake(Thread* t);
+
+  /// Register progression hooks; returns a handle usable for removal.
+  int add_idle_hook(Hook h);
+  int add_switch_hook(Hook h);
+  int add_timer_hook(Hook h);
+  void remove_idle_hook(int id);
+  void remove_switch_hook(int id);
+  void remove_timer_hook(int id);
+
+  /// Tell idle cores that hook work may now be pending (re-arms idle loops).
+  void notify_idle_work();
+
+  /// Number of threads spawned and not yet finished.
+  int live_threads() const { return live_threads_; }
+
+  // --- thread-facing (must run inside a simulated thread) ------------------
+
+  /// The running thread of the active context (nullptr in engine context).
+  Thread* current_thread() const { return running_; }
+
+  /// Consume CPU time; preemptible at timeslice boundaries, and timer hooks
+  /// fire at chunk boundaries.
+  void work(sim::Time t);
+
+  /// Consume CPU time without preemption or tick processing (lock costs and
+  /// other short critical-path charges).
+  void charge_current(sim::Time t);
+
+  void yield();
+  void sleep_for(sim::Time t);
+  void join(Thread* t);
+
+  /// Timeslice checkpoint for spin/poll loops: if the slice expired and
+  /// other threads wait on this core, yield to them; otherwise renew the
+  /// slice. Returns true if a preemption happened. Without such
+  /// checkpoints a busy-waiting thread could starve the very thread it
+  /// waits on when threads outnumber cores.
+  bool maybe_preempt();
+
+  /// Number of threads queued on @p core (excluding the running one).
+  std::size_t runqueue_length(int core) const {
+    return cores_.at(static_cast<std::size_t>(core)).runqueue.size();
+  }
+
+  /// Block the current thread until wake(). Used by sync primitives.
+  void block_current();
+
+  /// Park the current thread in a busy-spin: the core stays occupied and
+  /// accounted busy, but no events fire until spin_unpark().
+  void spin_park();
+
+  /// Resume a spin-parked thread after @p detect_delay (the granularity at
+  /// which the spinner re-reads the flag). Callable from any context.
+  void spin_unpark(Thread* t, sim::Time detect_delay);
+
+  /// True if @p t is currently spin-parked (i.e. spinning).
+  bool spin_parked(const Thread* t) const { return t->spin_parked_; }
+
+  /// Re-bind the current thread to @p core and migrate there.
+  void migrate_current(int core);
+
+  // --- statistics ----------------------------------------------------------
+
+  std::uint64_t context_switches() const { return total_switches_; }
+  sim::Time core_busy_time(int core) const;
+  sim::Time core_hook_time(int core) const;
+
+  /// Attach a Chrome-trace timeline: thread execution spans and hook
+  /// activity are recorded as (pid=@p pid, tid=core). nullptr detaches.
+  void set_timeline(sim::ChromeTrace* timeline, int pid);
+
+ private:
+  friend class ThreadContext;
+
+  struct Core {
+    int id = 0;
+    std::deque<Thread*> runqueue;
+    Thread* current = nullptr;   ///< thread owning the core (may be suspended)
+    Thread* last_run = nullptr;  ///< for switch-cost accounting
+    sim::EventHandle kick_event;
+    sim::EventHandle idle_event;
+    sim::Time next_tick = sim::kTimeInfinity;
+    sim::Time busy_time = 0;
+    sim::Time hook_time = 0;
+    std::uint64_t switches = 0;
+    /// Idle hooks ran since the last dispatch: the core's context belongs
+    /// to the idle loop, so even re-dispatching the same thread pays a
+    /// full switch (this is half of the paper's 750 ns passive-wait cost).
+    bool hooks_since_dispatch = false;
+    sim::Time span_start = -1;  ///< timeline: current thread span begin
+  };
+
+  void enqueue(int core, Thread* t);
+  int choose_core(const Thread* t) const;
+  void kick(int core);
+  void dispatch(int core);
+  void begin_run(int core, Thread* t);
+  void resume_fiber(int core, Thread* t);
+  void post_resume(int core, Thread* t);
+  void finish_thread(int core, Thread* t);
+  void enter_idle(Core& c);
+  void arm_idle(Core& c, sim::Time delay);
+  void idle_tick(int core);
+  void run_timer_tick_inline(Thread* t);
+  sim::Time run_hooks(std::vector<std::pair<int, Hook>>& hooks, int core);
+  bool hooks_want(const std::vector<std::pair<int, Hook>>& hooks, int core) const;
+  void on_all_done();
+  void ensure_timer_armed();
+
+  mach::Machine& machine_;
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<std::pair<int, Hook>> idle_hooks_;
+  std::vector<std::pair<int, Hook>> switch_hooks_;
+  std::vector<std::pair<int, Hook>> timer_hooks_;
+  int next_hook_id_ = 1;
+  std::uint64_t next_thread_id_ = 1;
+  int live_threads_ = 0;
+  Thread* running_ = nullptr;
+  std::uint64_t total_switches_ = 0;
+  sim::ChromeTrace* timeline_ = nullptr;
+  int timeline_pid_ = 0;
+
+  void timeline_begin(Core& c);
+  void timeline_end(Core& c, const Thread* t);
+};
+
+}  // namespace pm2::mth

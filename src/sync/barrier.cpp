@@ -1,0 +1,34 @@
+#include "sync/barrier.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pm2::sync {
+
+Barrier::Barrier(mth::Scheduler& sched, int parties, std::string name)
+    : sched_(sched), name_(std::move(name)), parties_(parties) {
+  if (parties < 1) throw std::invalid_argument("Barrier: parties < 1");
+}
+
+void Barrier::arrive_and_wait() {
+  auto& ctx = mth::ExecContext::current();
+  assert(ctx.can_block() && "Barrier::arrive_and_wait outside a thread");
+  ctx.charge(sched_.costs().sem_fast_path);
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    for (mth::Thread* t : waiting_) sched_.wake(t);
+    waiting_.clear();
+    return;
+  }
+  const std::uint64_t my_generation = generation_;
+  waiting_.push_back(sched_.current_thread());
+  ctx.charge(sched_.costs().context_switch);
+  while (generation_ == my_generation) {
+    sched_.block_current();
+  }
+  ctx.charge(sched_.costs().context_switch);
+}
+
+}  // namespace pm2::sync

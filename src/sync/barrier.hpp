@@ -1,0 +1,35 @@
+// pm2sim -- cyclic thread barrier (generation-counted, reusable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simthread/scheduler.hpp"
+
+namespace pm2::sync {
+
+class Barrier {
+ public:
+  /// Barrier for @p parties threads (>= 1). Reusable across generations.
+  Barrier(mth::Scheduler& sched, int parties, std::string name = "barrier");
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until @p parties threads have arrived in this generation.
+  void arrive_and_wait();
+
+  int parties() const { return parties_; }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  mth::Scheduler& sched_;
+  std::string name_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<mth::Thread*> waiting_;
+};
+
+}  // namespace pm2::sync

@@ -1,0 +1,26 @@
+// pm2sim -- helpers for cost charging that tolerate engine context.
+//
+// Synchronization objects can be poked from three places: simulated threads
+// (full ExecContext), scheduler hooks/tasklets (accumulating ExecContext),
+// and raw engine events such as NIC completions (no context at all -- the
+// "hardware" acts, no CPU pays). These helpers charge when someone is there
+// to pay and are no-ops otherwise.
+#pragma once
+
+#include "simcore/time.hpp"
+#include "simmachine/machine.hpp"
+#include "simthread/exec_context.hpp"
+
+namespace pm2::sync {
+
+/// Charge @p t to the active context, if any.
+inline void charge_if_ctx(sim::Time t) {
+  if (auto* ctx = mth::ExecContext::current_or_null()) ctx->charge(t);
+}
+
+/// Touch a shared line from the active context, if any.
+inline void touch_if_ctx(mach::CacheLine& line) {
+  if (auto* ctx = mth::ExecContext::current_or_null()) ctx->touch(line);
+}
+
+}  // namespace pm2::sync

@@ -1,0 +1,93 @@
+#include "sync/mutex.hpp"
+
+#include <cassert>
+
+#include "sync/context_util.hpp"
+
+namespace pm2::sync {
+
+Mutex::Mutex(mth::Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void Mutex::lock() {
+  auto& ctx = mth::ExecContext::current();
+  assert(ctx.can_block() && "Mutex::lock in a non-blocking context");
+  mth::Thread* self = sched_.current_thread();
+  assert(owner_ != self && "recursive Mutex::lock");
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  if (owner_ == nullptr) {
+    owner_ = self;
+    return;
+  }
+  ctx.charge(sched_.costs().context_switch);
+  if (owner_ == nullptr) {
+    // The holder released while we were paying the switch-out.
+    owner_ = self;
+    return;
+  }
+  waiters_.push_back(self);
+  // Mesa discipline: unlock() hands ownership over before waking us; any
+  // other wake is spurious and we simply block again.
+  while (owner_ != self) sched_.block_current();
+  ctx.charge(sched_.costs().context_switch);
+  ctx.touch(line_);
+}
+
+bool Mutex::try_lock() {
+  auto& ctx = mth::ExecContext::current();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  if (owner_ != nullptr) return false;
+  owner_ = sched_.current_thread();
+  return true;
+}
+
+void Mutex::unlock() {
+  assert(owner_ != nullptr && "unlock of a free Mutex");
+  charge_if_ctx(sched_.costs().sem_fast_path);
+  touch_if_ctx(line_);
+  if (!waiters_.empty()) {
+    mth::Thread* next = waiters_.front();
+    waiters_.pop_front();
+    owner_ = next;  // direct handoff
+    sched_.wake(next);
+    return;
+  }
+  owner_ = nullptr;
+}
+
+CondVar::CondVar(mth::Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void CondVar::wait(Mutex& m) {
+  auto& ctx = mth::ExecContext::current();
+  assert(ctx.can_block() && "CondVar::wait in a non-blocking context");
+  mth::Thread* self = sched_.current_thread();
+  assert(m.owner() == self && "CondVar::wait without holding the mutex");
+  waiters_.push_back(self);
+  m.unlock();
+  ctx.charge(sched_.costs().context_switch);
+  sched_.block_current();  // a notify during the charge left a wake permit
+  ctx.charge(sched_.costs().context_switch);
+  m.lock();
+}
+
+void CondVar::notify_one() {
+  charge_if_ctx(sched_.costs().sem_fast_path);
+  if (waiters_.empty()) return;
+  mth::Thread* t = waiters_.front();
+  waiters_.pop_front();
+  sched_.wake(t);
+}
+
+void CondVar::notify_all() {
+  charge_if_ctx(sched_.costs().sem_fast_path);
+  while (!waiters_.empty()) {
+    mth::Thread* t = waiters_.front();
+    waiters_.pop_front();
+    sched_.wake(t);
+  }
+}
+
+}  // namespace pm2::sync

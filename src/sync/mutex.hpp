@@ -1,0 +1,75 @@
+// pm2sim -- blocking mutex and condition variable for application threads.
+//
+// Unlike SpinLock (for the library's nanosecond-scale critical sections),
+// Mutex blocks its waiters, which is what application-level code wants for
+// longer sections. CondVar follows the POSIX contract (Mesa semantics:
+// always re-check the predicate in a loop).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "simthread/scheduler.hpp"
+
+namespace pm2::sync {
+
+class Mutex {
+ public:
+  explicit Mutex(mth::Scheduler& sched, std::string name = "mutex");
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Thread context only.
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  bool held() const { return owner_ != nullptr; }
+  mth::Thread* owner() const { return owner_; }
+
+ private:
+  friend class CondVar;
+  mth::Scheduler& sched_;
+  std::string name_;
+  mach::CacheLine line_;
+  mth::Thread* owner_ = nullptr;
+  std::deque<mth::Thread*> waiters_;
+};
+
+/// RAII guard for Mutex.
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~MutexGuard() { m_.unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+class CondVar {
+ public:
+  explicit CondVar(mth::Scheduler& sched, std::string name = "cond");
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release @p m and wait; re-acquires @p m before returning.
+  /// The caller must hold @p m. Mesa semantics: re-check your predicate.
+  void wait(Mutex& m);
+
+  /// Wake one / all waiters. Any context.
+  void notify_one();
+  void notify_all();
+
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  mth::Scheduler& sched_;
+  std::string name_;
+  std::deque<mth::Thread*> waiters_;
+};
+
+}  // namespace pm2::sync

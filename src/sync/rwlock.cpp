@@ -1,0 +1,95 @@
+#include "sync/rwlock.hpp"
+
+#include <cassert>
+
+#include "sync/context_util.hpp"
+
+namespace pm2::sync {
+
+RwLock::RwLock(mth::Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void RwLock::lock_shared() {
+  auto& ctx = mth::ExecContext::current();
+  assert(ctx.can_block());
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  // Writer preference: yield to active AND queued writers.
+  while (writer_ != nullptr || !waiting_writers_.empty()) {
+    waiting_readers_.push_back(sched_.current_thread());
+    ctx.charge(sched_.costs().context_switch);
+    if (writer_ == nullptr && waiting_writers_.empty()) {
+      // State changed while paying the switch-out; retract.
+      std::erase(waiting_readers_, sched_.current_thread());
+      break;
+    }
+    sched_.block_current();
+    std::erase(waiting_readers_, sched_.current_thread());
+    ctx.charge(sched_.costs().context_switch);
+  }
+  ++readers_;
+}
+
+void RwLock::unlock_shared() {
+  assert(readers_ > 0);
+  charge_if_ctx(sched_.costs().sem_fast_path);
+  touch_if_ctx(line_);
+  if (--readers_ == 0) wake_next_locked();
+}
+
+void RwLock::lock() {
+  auto& ctx = mth::ExecContext::current();
+  assert(ctx.can_block());
+  mth::Thread* self = sched_.current_thread();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  while (writer_ != nullptr || readers_ > 0) {
+    waiting_writers_.push_back(self);
+    ctx.charge(sched_.costs().context_switch);
+    if (writer_ == nullptr && readers_ == 0) {
+      std::erase(waiting_writers_, self);
+      break;
+    }
+    sched_.block_current();
+    std::erase(waiting_writers_, self);
+    ctx.charge(sched_.costs().context_switch);
+  }
+  writer_ = self;
+}
+
+void RwLock::unlock() {
+  assert(writer_ == sched_.current_thread() && "unlock by non-owner");
+  charge_if_ctx(sched_.costs().sem_fast_path);
+  touch_if_ctx(line_);
+  writer_ = nullptr;
+  wake_next_locked();
+}
+
+bool RwLock::try_lock() {
+  auto& ctx = mth::ExecContext::current();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  if (writer_ != nullptr || readers_ > 0) return false;
+  writer_ = sched_.current_thread();
+  return true;
+}
+
+bool RwLock::try_lock_shared() {
+  auto& ctx = mth::ExecContext::current();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  if (writer_ != nullptr || !waiting_writers_.empty()) return false;
+  ++readers_;
+  return true;
+}
+
+void RwLock::wake_next_locked() {
+  // Prefer a writer; otherwise release the whole reader herd.
+  if (!waiting_writers_.empty()) {
+    sched_.wake(waiting_writers_.front());
+    return;
+  }
+  for (mth::Thread* t : waiting_readers_) sched_.wake(t);
+}
+
+}  // namespace pm2::sync

@@ -1,0 +1,73 @@
+// pm2sim -- blocking readers-writer lock (writer-preferring).
+//
+// For application-level shared state with read-mostly access; the library
+// itself sticks to spinlocks (its critical sections are nanosecond-scale),
+// but hybrid applications built on the stack want this primitive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "simthread/scheduler.hpp"
+
+namespace pm2::sync {
+
+class RwLock {
+ public:
+  explicit RwLock(mth::Scheduler& sched, std::string name = "rwlock");
+
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  /// Shared (read) acquisition. Blocks while a writer holds or waits
+  /// (writer preference avoids writer starvation). Thread context only.
+  void lock_shared();
+  void unlock_shared();
+
+  /// Exclusive (write) acquisition. Thread context only.
+  void lock();
+  void unlock();
+
+  bool try_lock();
+  bool try_lock_shared();
+
+  int readers() const { return readers_; }
+  bool has_writer() const { return writer_ != nullptr; }
+
+ private:
+  void wake_next_locked();
+
+  mth::Scheduler& sched_;
+  std::string name_;
+  mach::CacheLine line_;
+  int readers_ = 0;
+  mth::Thread* writer_ = nullptr;
+  std::deque<mth::Thread*> waiting_writers_;
+  std::deque<mth::Thread*> waiting_readers_;
+};
+
+/// RAII guards.
+class ReadGuard {
+ public:
+  explicit ReadGuard(RwLock& l) : l_(l) { l_.lock_shared(); }
+  ~ReadGuard() { l_.unlock_shared(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  RwLock& l_;
+};
+
+class WriteGuard {
+ public:
+  explicit WriteGuard(RwLock& l) : l_(l) { l_.lock(); }
+  ~WriteGuard() { l_.unlock(); }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  RwLock& l_;
+};
+
+}  // namespace pm2::sync

@@ -1,0 +1,65 @@
+#include "sync/semaphore.hpp"
+
+#include <cassert>
+
+#include "sync/context_util.hpp"
+
+namespace pm2::sync {
+
+Semaphore::Semaphore(mth::Scheduler& sched, int initial, std::string name)
+    : sched_(sched), name_(std::move(name)), count_(initial) {
+  assert(initial >= 0);
+}
+
+void Semaphore::acquire() {
+  auto& ctx = mth::ExecContext::current();
+  assert(ctx.can_block() && "Semaphore::acquire in a non-blocking context");
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  if (count_ > 0) {
+    --count_;
+    return;
+  }
+  // Passive wait: pay the switch out, block, and pay the switch back in
+  // when released. (Marcel's blocking primitives go through the scheduler
+  // even when the core would otherwise idle.)
+  ++blocked_acquires_;
+  ctx.charge(sched_.costs().context_switch);
+  if (count_ > 0) {
+    // A release() landed while we were paying the switch-out. Abort the
+    // block (the switch cost is still paid, as on a real machine).
+    --count_;
+    return;
+  }
+  // Mesa discipline: release() marks our token before waking us, and we
+  // re-check on every wake (stray wake permits are harmless).
+  Waiter w{sched_.current_thread(), false};
+  waiters_.push_back(&w);
+  while (!w.granted) sched_.block_current();
+  ctx.charge(sched_.costs().context_switch);
+  ctx.touch(line_);
+}
+
+bool Semaphore::try_acquire() {
+  auto& ctx = mth::ExecContext::current();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().sem_fast_path);
+  if (count_ == 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release() {
+  charge_if_ctx(sched_.costs().sem_fast_path);
+  touch_if_ctx(line_);
+  if (!waiters_.empty()) {
+    Waiter* w = waiters_.front();
+    waiters_.pop_front();
+    w->granted = true;  // direct token handoff
+    sched_.wake(w->t);
+    return;
+  }
+  ++count_;
+}
+
+}  // namespace pm2::sync

@@ -1,0 +1,106 @@
+#include "sync/spinlock.hpp"
+
+#include <cassert>
+
+#include "sync/context_util.hpp"
+
+namespace pm2::sync {
+
+SpinLock::SpinLock(mth::Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void SpinLock::lock() {
+  auto& ctx = mth::ExecContext::current();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().spin_acquire);
+  if (!held_) {
+    held_ = true;
+    ++acquisitions_;
+    return;
+  }
+  // Contended: actively spin until a release lets us in. A release wakes
+  // the oldest spinner for a retry, but the retry pays the re-check period
+  // plus a line transfer -- a local thread re-acquiring immediately wins
+  // that race (barging), unless we have been spinning beyond the fairness
+  // horizon, in which case unlock() hands the lock over directly.
+  assert(ctx.can_block() &&
+         "spinlock contention outside a thread context; use try_lock()");
+  ++contentions_;
+  mth::Thread* self = sched_.current_thread();
+  const sim::Time park_start = sched_.engine().now();
+  for (;;) {
+    // With other threads queued on this core, parking could starve the
+    // holder itself: spin-then-yield instead (what preemptible spinlock
+    // users must do when threads outnumber cores).
+    if (sched_.runqueue_length(self->core()) > 0) {
+      ctx.charge(sched_.costs().spin_retry);
+      sched_.yield();
+      ctx.touch(line_);
+      ctx.charge(sched_.costs().spin_acquire);
+      if (granted_ == self) {
+        granted_ = nullptr;
+        assert(held_);
+        ++acquisitions_;
+        return;
+      }
+      if (!held_) {
+        held_ = true;
+        ++acquisitions_;
+        return;
+      }
+      continue;
+    }
+    spinners_.push_back(Waiter{self, park_start});
+    sched_.spin_park();
+    if (granted_ == self) {
+      // Direct handoff: held_ stayed true on our behalf.
+      granted_ = nullptr;
+      assert(held_);
+      ctx.touch(line_);
+      ++acquisitions_;
+      return;
+    }
+    // Woken for a retry window: pay the attempt and re-check.
+    ctx.touch(line_);
+    ctx.charge(sched_.costs().spin_acquire);
+    if (!held_) {
+      held_ = true;
+      ++acquisitions_;
+      return;
+    }
+  }
+}
+
+bool SpinLock::try_lock() {
+  auto& ctx = mth::ExecContext::current();
+  ctx.touch(line_);
+  ctx.charge(sched_.costs().spin_acquire);
+  if (held_) return false;
+  held_ = true;
+  ++acquisitions_;
+  return true;
+}
+
+void SpinLock::unlock() {
+  assert(held_ && "unlock of a free SpinLock");
+  charge_if_ctx(sched_.costs().spin_release);
+  if (!spinners_.empty()) {
+    Waiter w = spinners_.front();
+    spinners_.pop_front();
+    const sim::Time waited = sched_.engine().now() - w.park_start;
+    if (waited >= sched_.costs().spin_fair_threshold) {
+      // Starved long enough: direct handoff, lock stays held on its behalf.
+      granted_ = w.t;
+      sched_.spin_unpark(w.t, sched_.costs().spin_retry);
+      return;
+    }
+    // Free the lock and give the spinner a retry window; a local barger
+    // may still beat it.
+    held_ = false;
+    sched_.spin_unpark(w.t, sched_.costs().spin_retry);
+    return;
+  }
+  held_ = false;
+}
+
+}  // namespace pm2::sync

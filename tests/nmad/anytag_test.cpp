@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+TEST(AnyTag, MatchesWhateverArrives) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    std::uint32_t v = 0xCAFE;
+    world.core(0).send(world.gate(0, 1), 42, &v, sizeof(v));
+  });
+  world.spawn(1, [&world] {
+    nm::Core& c = world.core(1);
+    std::uint32_t got = 0;
+    nm::Request* r = c.irecv(world.gate(1, 0), kAnyTag, &got, sizeof(got));
+    c.wait(r);
+    EXPECT_EQ(got, 0xCAFEu);
+    EXPECT_EQ(r->matched_tag(), 42u);
+    c.release(r);
+  });
+  world.run();
+}
+
+TEST(AnyTag, AdoptsEarliestUnexpectedAcrossTags) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    std::uint32_t first = 1, second = 2;
+    c.send(world.gate(0, 1), 100, &first, sizeof(first));
+    c.send(world.gate(0, 1), 200, &second, sizeof(second));
+  });
+  world.spawn(1, [&world] {
+    world.sched(1).work(sim::microseconds(30));  // both land unexpected
+    nm::Core& c = world.core(1);
+    std::uint32_t got = 0;
+    nm::Request* r = c.irecv(world.gate(1, 0), kAnyTag, &got, sizeof(got));
+    c.wait(r);
+    EXPECT_EQ(got, 1u);  // send order wins, regardless of tag
+    EXPECT_EQ(r->matched_tag(), 100u);
+    c.release(r);
+    // The second message still matches its own tag.
+    EXPECT_EQ(c.recv(world.gate(1, 0), 200, &got, sizeof(got)), sizeof(got));
+    EXPECT_EQ(got, 2u);
+  });
+  world.run();
+}
+
+TEST(AnyTag, WildcardAndExactRecvsCoexist) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    std::uint32_t a = 10, b = 20;
+    c.send(world.gate(0, 1), 7, &a, sizeof(a));
+    c.send(world.gate(0, 1), 8, &b, sizeof(b));
+  });
+  world.spawn(1, [&world] {
+    nm::Core& c = world.core(1);
+    std::uint32_t exact = 0, any = 0;
+    // Exact tag-8 posted first, wildcard second: tag-7 must flow to the
+    // wildcard, tag-8 to the exact receive.
+    nm::Request* r8 = c.irecv(world.gate(1, 0), 8, &exact, sizeof(exact));
+    nm::Request* rw = c.irecv(world.gate(1, 0), kAnyTag, &any, sizeof(any));
+    c.wait(r8);
+    c.wait(rw);
+    EXPECT_EQ(exact, 20u);
+    EXPECT_EQ(any, 10u);
+    EXPECT_EQ(rw->matched_tag(), 7u);
+    c.release(r8);
+    c.release(rw);
+  });
+  world.run();
+}
+
+TEST(AnyTag, WorksWithRendezvous) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  constexpr std::size_t kBig = 64 * 1024;
+  world.spawn(0, [&world] {
+    static std::vector<std::uint8_t> data(kBig, 0x7E);
+    world.core(0).send(world.gate(0, 1), 9, data.data(), data.size());
+  });
+  world.spawn(1, [&world, kBig] {
+    nm::Core& c = world.core(1);
+    std::vector<std::uint8_t> buf(kBig);
+    nm::Request* r = c.irecv(world.gate(1, 0), kAnyTag, buf.data(), buf.size());
+    c.wait(r);
+    EXPECT_EQ(r->received_length(), kBig);
+    EXPECT_EQ(r->matched_tag(), 9u);
+    EXPECT_EQ(buf[kBig - 1], 0x7E);
+    c.release(r);
+  });
+  world.run();
+}
+
+}  // namespace
+}  // namespace pm2::nm

@@ -1,0 +1,196 @@
+#include "nmad/locking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2::nm {
+namespace {
+
+class LockSetTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "node", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  mth::Scheduler sched_{machine_};
+};
+
+TEST_F(LockSetTest, NoneModeIsFree) {
+  LockSet locks(sched_, LockMode::kNone, 2);
+  sim::Time cost = -1;
+  sched_.spawn([&] {
+    const sim::Time t0 = engine_.now();
+    locks.lock(Domain::kCollect);
+    locks.unlock(Domain::kCollect);
+    locks.lock_library();
+    locks.unlock_library();
+    EXPECT_TRUE(locks.try_lock(Domain::kMatching));
+    locks.unlock(Domain::kMatching);
+    cost = engine_.now() - t0;
+  });
+  engine_.run();
+  EXPECT_EQ(cost, 0);
+  EXPECT_EQ(locks.cycles(), 0u);
+}
+
+TEST_F(LockSetTest, FineModeUsesSeparateLocks) {
+  LockSet locks(sched_, LockMode::kFine, 2);
+  sched_.spawn([&] {
+    // Different domains can be held simultaneously under fine grain.
+    locks.lock(Domain::kCollect);
+    locks.lock(Domain::kMatching);
+    locks.lock(locks.driver_domain(0));
+    locks.lock(locks.driver_domain(1));
+    locks.unlock(locks.driver_domain(1));
+    locks.unlock(locks.driver_domain(0));
+    locks.unlock(Domain::kMatching);
+    locks.unlock(Domain::kCollect);
+  });
+  engine_.run();
+  EXPECT_EQ(locks.cycles(), 4u);
+}
+
+TEST_F(LockSetTest, FineLibraryLockIsNoop) {
+  LockSet locks(sched_, LockMode::kFine, 1);
+  sched_.spawn([&] {
+    locks.lock_library();
+    // Another "thread's" domain access is not blocked: same thread proves
+    // the library lock did not take the collect lock.
+    locks.lock(Domain::kCollect);
+    locks.unlock(Domain::kCollect);
+    locks.unlock_library();
+  });
+  engine_.run();
+}
+
+TEST_F(LockSetTest, CoarseMapsDomainsToOneLock) {
+  LockSet locks(sched_, LockMode::kCoarse, 2);
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  sim::Time blocked_until = -1;
+  sched_.spawn([&] {
+    locks.lock(Domain::kCollect);
+    sched_.charge_current(sim::microseconds(3));
+    locks.unlock(Domain::kCollect);
+  }, a0);
+  sched_.spawn([&] {
+    sched_.charge_current(500);
+    // A DIFFERENT domain still contends: it is the same global lock.
+    locks.lock(Domain::kMatching);
+    blocked_until = engine_.now();
+    locks.unlock(Domain::kMatching);
+  }, a1);
+  engine_.run();
+  EXPECT_GE(blocked_until, sim::microseconds(3));
+}
+
+TEST_F(LockSetTest, CoarseLibraryLockElidesOwnerDomains) {
+  LockSet locks(sched_, LockMode::kCoarse, 1);
+  sched_.spawn([&] {
+    locks.lock_library();
+    const std::uint64_t before = locks.cycles();
+    locks.lock(Domain::kCollect);  // elided: we own the library
+    locks.unlock(Domain::kCollect);
+    locks.lock(Domain::kMatching);
+    locks.unlock(Domain::kMatching);
+    EXPECT_EQ(locks.cycles(), before);
+    locks.unlock_library();
+  });
+  engine_.run();
+}
+
+TEST_F(LockSetTest, CoarseLibraryLockIsReentrant) {
+  LockSet locks(sched_, LockMode::kCoarse, 1);
+  sched_.spawn([&] {
+    locks.lock_library();
+    locks.lock_library();  // nested visit
+    EXPECT_TRUE(locks.library_locked_by_me());
+    locks.unlock_library();
+    EXPECT_TRUE(locks.library_locked_by_me());
+    locks.unlock_library();
+    EXPECT_FALSE(locks.library_locked_by_me());
+  });
+  engine_.run();
+}
+
+TEST_F(LockSetTest, CoarseElisionDoesNotLeakToOtherThreads) {
+  LockSet locks(sched_, LockMode::kCoarse, 1);
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  sim::Time t1_entered = -1;
+  sched_.spawn([&] {
+    locks.lock_library();
+    sched_.charge_current(sim::microseconds(2));
+    locks.unlock_library();
+  }, a0);
+  sched_.spawn([&] {
+    sched_.charge_current(300);
+    // While thread 0 holds the library, our domain access must NOT be
+    // elided -- it has to wait.
+    locks.lock(Domain::kCollect);
+    t1_entered = engine_.now();
+    locks.unlock(Domain::kCollect);
+  }, a1);
+  engine_.run();
+  EXPECT_GE(t1_entered, sim::microseconds(2));
+}
+
+TEST_F(LockSetTest, TryLockLibraryFailsWhenHeldElsewhere) {
+  LockSet locks(sched_, LockMode::kCoarse, 1);
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  bool got = true;
+  sched_.spawn([&] {
+    locks.lock_library();
+    sched_.charge_current(sim::microseconds(2));
+    locks.unlock_library();
+  }, a0);
+  sched_.spawn([&] {
+    sched_.charge_current(500);
+    got = locks.try_lock_library();
+    if (got) locks.unlock_library();
+  }, a1);
+  engine_.run();
+  EXPECT_FALSE(got);
+}
+
+TEST_F(LockSetTest, ReleaseAllAndReacquireRestoresDepth) {
+  LockSet locks(sched_, LockMode::kCoarse, 1);
+  sched_.spawn([&] {
+    locks.lock_library();
+    locks.lock_library();
+    const int depth = locks.release_library_all();
+    EXPECT_EQ(depth, 2);
+    EXPECT_FALSE(locks.library_locked_by_me());
+    locks.reacquire_library(depth);
+    EXPECT_TRUE(locks.library_locked_by_me());
+    locks.unlock_library();
+    locks.unlock_library();
+    EXPECT_FALSE(locks.library_locked_by_me());
+  });
+  engine_.run();
+}
+
+TEST_F(LockSetTest, ReleaseAllWithoutHoldIsZero) {
+  LockSet coarse(sched_, LockMode::kCoarse, 1);
+  LockSet fine(sched_, LockMode::kFine, 1);
+  sched_.spawn([&] {
+    EXPECT_EQ(coarse.release_library_all(), 0);
+    EXPECT_EQ(fine.release_library_all(), 0);
+    fine.reacquire_library(0);  // no-op
+  });
+  engine_.run();
+}
+
+TEST(LockModeNames, ToString) {
+  EXPECT_STREQ(to_string(LockMode::kNone), "none");
+  EXPECT_STREQ(to_string(LockMode::kCoarse), "coarse");
+  EXPECT_STREQ(to_string(LockMode::kFine), "fine");
+  EXPECT_STREQ(to_string(WaitMode::kFixedSpin), "fixed-spin");
+  EXPECT_STREQ(to_string(ProgressMode::kIdleCoreOffload), "idle-core-offload");
+  EXPECT_STREQ(to_string(StrategyKind::kAggreg), "aggreg");
+}
+
+}  // namespace
+}  // namespace pm2::nm

@@ -1,0 +1,229 @@
+// Property tests: matching and ordering invariants of the communication
+// core, swept across locking modes, strategies and seeds.
+#include <gtest/gtest.h>
+
+#include "nmad/cluster.hpp"
+#include "simcore/random.hpp"
+
+namespace pm2::nm {
+namespace {
+
+TEST(Ordering, SameTagMessagesArriveInSendOrder) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  constexpr int kCount = 50;
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      c.send(world.gate(0, 1), 7, &i, sizeof(i));
+    }
+  });
+  world.spawn(1, [&world] {
+    nm::Core& c = world.core(1);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      std::uint32_t got = 0;
+      c.recv(world.gate(1, 0), 7, &got, sizeof(got));
+      EXPECT_EQ(got, i);
+    }
+  });
+  world.run();
+}
+
+TEST(Ordering, UnexpectedMessagesAdoptedInSendOrder) {
+  // All messages arrive before any receive is posted: adoption must still
+  // follow send order (lowest msg_seq first).
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  constexpr int kCount = 20;
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      c.send(world.gate(0, 1), 7, &i, sizeof(i));
+    }
+  });
+  world.spawn(1, [&world] {
+    world.sched(1).work(sim::microseconds(200));  // let everything land
+    nm::Core& c = world.core(1);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      std::uint32_t got = 0;
+      c.recv(world.gate(1, 0), 7, &got, sizeof(got));
+      EXPECT_EQ(got, i) << "unexpected adoption out of order";
+    }
+  });
+  world.run();
+  EXPECT_GT(world.core(1).stats().unexpected_chunks, 0u);
+}
+
+TEST(Ordering, DifferentTagsMatchIndependently) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    const std::uint32_t a = 0xAAAA, b = 0xBBBB;
+    c.send(world.gate(0, 1), 1, &a, sizeof(a));
+    c.send(world.gate(0, 1), 2, &b, sizeof(b));
+  });
+  world.spawn(1, [&world] {
+    nm::Core& c = world.core(1);
+    // Receive tag 2 FIRST, although it was sent second.
+    std::uint32_t got2 = 0, got1 = 0;
+    c.recv(world.gate(1, 0), 2, &got2, sizeof(got2));
+    c.recv(world.gate(1, 0), 1, &got1, sizeof(got1));
+    EXPECT_EQ(got2, 0xBBBBu);
+    EXPECT_EQ(got1, 0xAAAAu);
+  });
+  world.run();
+}
+
+TEST(Ordering, GatesIsolateFlows) {
+  // Same tags on different gates must not cross-match.
+  nm::ClusterConfig cfg;
+  cfg.nodes = 3;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    const std::uint32_t to1 = 111, to2 = 222;
+    c.send(world.gate(0, 1), 9, &to1, sizeof(to1));
+    c.send(world.gate(0, 2), 9, &to2, sizeof(to2));
+  });
+  world.spawn(1, [&world] {
+    std::uint32_t got = 0;
+    world.core(1).recv(world.gate(1, 0), 9, &got, sizeof(got));
+    EXPECT_EQ(got, 111u);
+  });
+  world.spawn(2, [&world] {
+    std::uint32_t got = 0;
+    world.core(2).recv(world.gate(2, 0), 9, &got, sizeof(got));
+    EXPECT_EQ(got, 222u);
+  });
+  world.run();
+}
+
+struct SweepParam {
+  LockMode lock;
+  StrategyKind strategy;
+  std::uint64_t seed;
+};
+
+class RandomTrafficSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomTrafficSweep, MixedSizesAndTagsDeliverIntact) {
+  const SweepParam p = GetParam();
+  nm::ClusterConfig cfg;
+  cfg.nm.lock = p.lock;
+  cfg.nm.strategy = p.strategy;
+  nm::Cluster world(cfg);
+
+  // Deterministic random schedule shared by both sides.
+  constexpr int kMessages = 40;
+  sim::Rng rng(p.seed);
+  struct Msg {
+    Tag tag;
+    std::size_t size;
+    std::uint8_t fill;
+  };
+  std::vector<Msg> plan;
+  for (int i = 0; i < kMessages; ++i) {
+    const Tag tag = static_cast<Tag>(rng.uniform_int(0, 3));
+    // Sizes spanning eager PIO, eager DMA, and rendezvous territory.
+    const std::size_t size =
+        static_cast<std::size_t>(rng.uniform_int(0, 60000));
+    plan.push_back({tag, size, static_cast<std::uint8_t>(rng.uniform_int(1, 255))});
+  }
+
+  world.spawn(0, [&world, &plan] {
+    nm::Core& c = world.core(0);
+    auto& sched = world.sched(0);
+    sim::Rng pace(99);
+    for (const auto& m : plan) {
+      std::vector<std::uint8_t> data(m.size, m.fill);
+      c.send(world.gate(0, 1), m.tag, data.data(), data.size());
+      sched.work(pace.uniform_int(0, 2000));
+    }
+  });
+  world.spawn(1, [&world, &plan] {
+    nm::Core& c = world.core(1);
+    // Pre-post every receive (per-tag order = send order), then wait in a
+    // shuffled order: matching must pair each recv with the right message.
+    std::vector<std::vector<std::uint8_t>> bufs;
+    std::vector<nm::Request*> reqs;
+    bufs.reserve(plan.size());
+    for (const auto& m : plan) {
+      bufs.emplace_back(m.size + 8, 0);
+      reqs.push_back(
+          c.irecv(world.gate(1, 0), m.tag, bufs.back().data(), bufs.back().size()));
+    }
+    std::vector<std::size_t> order(plan.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    sim::Rng pick(7);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                  pick.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+    }
+    for (std::size_t idx : order) {
+      c.wait(reqs[idx]);
+      ASSERT_EQ(reqs[idx]->received_length(), plan[idx].size);
+      c.release(reqs[idx]);
+      for (std::size_t i = 0; i < plan[idx].size; ++i) {
+        ASSERT_EQ(bufs[idx][i], plan[idx].fill) << "corruption at byte " << i;
+      }
+    }
+  });
+  world.run();
+  EXPECT_EQ(world.core(0).active_requests(), 0);
+  EXPECT_EQ(world.core(1).active_requests(), 0);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string s = std::string(to_string(info.param.lock)) + "_" +
+                  to_string(info.param.strategy) + "_s" +
+                  std::to_string(info.param.seed);
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RandomTrafficSweep,
+    ::testing::Values(
+        SweepParam{LockMode::kNone, StrategyKind::kDefault, 1},
+        SweepParam{LockMode::kNone, StrategyKind::kAggreg, 2},
+        SweepParam{LockMode::kCoarse, StrategyKind::kAggreg, 3},
+        SweepParam{LockMode::kCoarse, StrategyKind::kDefault, 4},
+        SweepParam{LockMode::kFine, StrategyKind::kAggreg, 5},
+        SweepParam{LockMode::kFine, StrategyKind::kDefault, 6},
+        SweepParam{LockMode::kFine, StrategyKind::kSplit, 7},
+        SweepParam{LockMode::kFine, StrategyKind::kAggreg, 8},
+        SweepParam{LockMode::kCoarse, StrategyKind::kAggreg, 9},
+        SweepParam{LockMode::kFine, StrategyKind::kSplit, 10}),
+    sweep_name);
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    nm::ClusterConfig cfg;
+    nm::Cluster world(cfg);
+    world.spawn(0, [&world] {
+      nm::Core& c = world.core(0);
+      std::vector<std::uint8_t> m(777, 3), b(777);
+      for (int i = 0; i < 20; ++i) {
+        c.send(world.gate(0, 1), 1, m.data(), m.size());
+        c.recv(world.gate(0, 1), 2, b.data(), b.size());
+      }
+    });
+    world.spawn(1, [&world] {
+      nm::Core& c = world.core(1);
+      std::vector<std::uint8_t> b(777);
+      for (int i = 0; i < 20; ++i) {
+        c.recv(world.gate(1, 0), 1, b.data(), b.size());
+        c.send(world.gate(1, 0), 2, b.data(), b.size());
+      }
+    });
+    world.run();
+    return std::pair(world.engine().now(), world.engine().events_executed());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace pm2::nm

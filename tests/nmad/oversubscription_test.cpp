@@ -1,0 +1,141 @@
+// Regression tests for oversubscribed nodes (threads > cores): spinners
+// and busy-waiters must not starve the threads they wait on.
+#include <gtest/gtest.h>
+
+#include "nmad/cluster.hpp"
+#include "sync/spinlock.hpp"
+
+namespace pm2::nm {
+namespace {
+
+TEST(Oversubscription, BusyWaiterSharesCoreWithItsPeer) {
+  // Single-core nodes: the busy-waiting receiver and (later) another
+  // compute thread share the core; the wait loop must preempt itself.
+  nm::ClusterConfig cfg;
+  cfg.topology = mach::CacheTopology::uniform(1, 1);
+  nm::Cluster world(cfg);
+  bool compute_ran = false;
+  world.spawn(0, [&world] {
+    std::uint8_t b = 0;
+    world.core(0).recv(world.gate(0, 1), 1, &b, 1);  // busy wait, core 0
+    EXPECT_EQ(b, 5);
+  });
+  world.spawn(0, [&world, &compute_ran] {
+    // Queued behind the busy waiter on the only core.
+    world.sched(0).work(sim::microseconds(50));
+    compute_ran = true;
+  });
+  world.spawn(1, [&world] {
+    world.sched(1).work(sim::microseconds(400));  // longer than a timeslice
+    std::uint8_t v = 5;
+    world.core(1).send(world.gate(1, 0), 1, &v, 1);
+  });
+  world.run();
+  EXPECT_TRUE(compute_ran);
+}
+
+TEST(Oversubscription, CoarseLockSpinnersYieldToQueuedThreads) {
+  // Two threads on ONE core contend for the coarse library: the one
+  // spinning for the lock must yield so the holder (queued on the same
+  // core after preemption) can finish its wait.
+  nm::ClusterConfig cfg;
+  cfg.topology = mach::CacheTopology::uniform(1, 1);
+  cfg.nm.lock = LockMode::kCoarse;
+  nm::Cluster world(cfg);
+  int done = 0;
+  for (int t = 0; t < 2; ++t) {
+    world.spawn(0, [&world, t, &done] {
+      nm::Core& c = world.core(0);
+      std::uint32_t v = static_cast<std::uint32_t>(t);
+      std::uint32_t echo = 0;
+      c.send(world.gate(0, 1), static_cast<Tag>(t), &v, sizeof(v));
+      c.recv(world.gate(0, 1), 10 + static_cast<Tag>(t), &echo, sizeof(echo));
+      if (echo == v + 1) ++done;
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    world.spawn(1, [&world, t] {
+      nm::Core& c = world.core(1);
+      std::uint32_t v = 0;
+      c.recv(world.gate(1, 0), static_cast<Tag>(t), &v, sizeof(v));
+      ++v;
+      c.send(world.gate(1, 0), 10 + static_cast<Tag>(t), &v, sizeof(v));
+    });
+  }
+  world.run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Oversubscription, ManyThreadsFewCoresAllConfigsComplete) {
+  for (auto wait : {WaitMode::kBusy, WaitMode::kPassive, WaitMode::kFixedSpin}) {
+    for (auto lock : {LockMode::kCoarse, LockMode::kFine}) {
+      nm::ClusterConfig cfg;
+      cfg.topology = mach::CacheTopology::uniform(2, 2);
+      cfg.nm.lock = lock;
+      cfg.nm.wait = wait;
+      cfg.nm.progress = wait == WaitMode::kBusy ? ProgressMode::kAppDriven
+                                                : ProgressMode::kPiomanHooks;
+      nm::Cluster world(cfg);
+      int ok = 0;
+      constexpr int kThreads = 5;  // on 2 cores
+      for (int t = 0; t < kThreads; ++t) {
+        world.spawn(0, [&world, t, &ok] {
+          nm::Core& c = world.core(0);
+          std::uint8_t v = static_cast<std::uint8_t>(t);
+          std::uint8_t echo = 0;
+          c.send(world.gate(0, 1), static_cast<Tag>(t), &v, 1);
+          c.recv(world.gate(0, 1), 50 + static_cast<Tag>(t), &echo, 1);
+          if (echo == t + 1) ++ok;
+        });
+        world.spawn(1, [&world, t] {
+          nm::Core& c = world.core(1);
+          std::uint8_t v = 0;
+          c.recv(world.gate(1, 0), static_cast<Tag>(t), &v, 1);
+          ++v;
+          c.send(world.gate(1, 0), 50 + static_cast<Tag>(t), &v, 1);
+        });
+      }
+      world.run();
+      EXPECT_EQ(ok, kThreads)
+          << "lock=" << to_string(lock) << " wait=" << to_string(wait);
+    }
+  }
+}
+
+TEST(Oversubscription, MaybePreemptRenewsSliceOnIdleCore) {
+  sim::Engine engine;
+  mach::Machine machine(engine, "n", mach::CacheTopology::quad_core(),
+                        mach::CostBook::xeon_quad());
+  mth::Scheduler sched(machine);
+  int preemptions = 0;
+  sched.spawn([&] {
+    // Alone on the core: maybe_preempt never preempts, always renews.
+    for (int i = 0; i < 5; ++i) {
+      sched.charge_current(machine.costs().timeslice + 10);
+      if (sched.maybe_preempt()) ++preemptions;
+    }
+  });
+  engine.run();
+  EXPECT_EQ(preemptions, 0);
+}
+
+TEST(Oversubscription, MaybePreemptRotatesWhenQueued) {
+  sim::Engine engine;
+  mach::Machine machine(engine, "n", mach::CacheTopology::quad_core(),
+                        mach::CostBook::xeon_quad());
+  mth::Scheduler sched(machine);
+  std::vector<int> order;
+  mth::ThreadAttrs a;
+  a.bind_core = 0;
+  sched.spawn([&] {
+    sched.charge_current(machine.costs().timeslice + 10);
+    EXPECT_TRUE(sched.maybe_preempt());  // thread 2 is queued
+    order.push_back(1);
+  }, a);
+  sched.spawn([&] { order.push_back(2); }, a);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+}  // namespace
+}  // namespace pm2::nm

@@ -1,0 +1,158 @@
+#include "nmad/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+TEST(Pack, GatherScatterRoundTrip) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    struct Header {
+      std::uint32_t kind;
+      std::uint32_t count;
+    } h{7, 3};
+    const double values[3] = {1.5, 2.5, 3.5};
+    PackBuilder pk(world.core(0));
+    pk.pack(&h, sizeof(h)).pack(values, sizeof(values));
+    EXPECT_EQ(pk.packed_size(), sizeof(h) + sizeof(values));
+    pk.send(world.gate(0, 1), 9);
+  });
+  world.spawn(1, [&world] {
+    struct Header {
+      std::uint32_t kind;
+      std::uint32_t count;
+    } h{};
+    double values[3] = {};
+    UnpackDest up(world.core(1));
+    up.unpack(&h, sizeof(h)).unpack(values, sizeof(values));
+    const std::size_t n = up.recv(world.gate(1, 0), 9);
+    EXPECT_EQ(n, sizeof(h) + sizeof(values));
+    EXPECT_EQ(h.kind, 7u);
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(values[0], 1.5);
+    EXPECT_DOUBLE_EQ(values[2], 3.5);
+  });
+  world.run();
+}
+
+TEST(Pack, BuilderBufferOutlivesCallerSegments) {
+  // The caller's segments go out of scope right after isend: the request's
+  // owned staging buffer must keep the bytes alive (rendezvous-sized).
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  constexpr std::size_t kBig = 80 * 1024;
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    Request* req = nullptr;
+    {
+      std::vector<std::uint8_t> part1(kBig / 2, 0xA1);
+      std::vector<std::uint8_t> part2(kBig / 2, 0xB2);
+      PackBuilder pk(c);
+      pk.pack(part1.data(), part1.size()).pack(part2.data(), part2.size());
+      req = pk.isend(world.gate(0, 1), 5);
+      // parts destroyed here, before the rendezvous completes
+    }
+    c.wait(req);
+    c.release(req);
+  });
+  world.spawn(1, [&world, kBig] {
+    std::vector<std::uint8_t> buf(kBig);
+    EXPECT_EQ(world.core(1).recv(world.gate(1, 0), 5, buf.data(), buf.size()),
+              kBig);
+    EXPECT_EQ(buf[0], 0xA1);
+    EXPECT_EQ(buf[kBig - 1], 0xB2);
+    EXPECT_EQ(buf[kBig / 2 - 1], 0xA1);
+    EXPECT_EQ(buf[kBig / 2], 0xB2);
+  });
+  world.run();
+}
+
+TEST(Pack, BuilderIsReusable) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    PackBuilder pk(world.core(0));
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      pk.pack(&i, sizeof(i));
+      pk.send(world.gate(0, 1), 1);
+      EXPECT_EQ(pk.packed_size(), 0u);
+    }
+  });
+  world.spawn(1, [&world] {
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      std::uint32_t got = 99;
+      EXPECT_EQ(world.core(1).recv(world.gate(1, 0), 1, &got, sizeof(got)),
+                sizeof(got));
+      EXPECT_EQ(got, i);
+    }
+  });
+  world.run();
+}
+
+TEST(Pack, ShortMessageFillsOnlyLeadingSlices) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    const std::uint8_t five[5] = {1, 2, 3, 4, 5};
+    world.core(0).send(world.gate(0, 1), 2, five, sizeof(five));
+  });
+  world.spawn(1, [&world] {
+    std::uint8_t a[3] = {0xFF, 0xFF, 0xFF};
+    std::uint8_t b[8];
+    std::memset(b, 0xEE, sizeof(b));
+    UnpackDest up(world.core(1));
+    up.unpack(a, sizeof(a)).unpack(b, sizeof(b));
+    EXPECT_EQ(up.capacity(), 11u);
+    const std::size_t n = up.recv(world.gate(1, 0), 2);
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(a[0], 1);
+    EXPECT_EQ(a[2], 3);
+    EXPECT_EQ(b[0], 4);
+    EXPECT_EQ(b[1], 5);
+    EXPECT_EQ(b[2], 0xEE);  // untouched past the message end
+  });
+  world.run();
+}
+
+TEST(Pack, IsendVHelper) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    const char a[] = "seg-a|";
+    const char b[] = "seg-b";
+    Request* req =
+        isend_v(c, world.gate(0, 1), 4,
+                {ConstIoSlice{a, 6}, ConstIoSlice{b, 5}});
+    c.wait(req);
+    c.release(req);
+  });
+  world.spawn(1, [&world] {
+    char buf[16] = {};
+    EXPECT_EQ(world.core(1).recv(world.gate(1, 0), 4, buf, sizeof(buf)), 11u);
+    EXPECT_STREQ(buf, "seg-a|seg-b");
+  });
+  world.run();
+}
+
+TEST(Pack, PackingCostIsCharged) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    PackBuilder pk(world.core(0));
+    std::vector<std::uint8_t> seg(100000, 1);
+    const sim::Time t0 = world.engine().now();
+    pk.pack(seg.data(), seg.size());
+    EXPECT_GT(world.engine().now() - t0, 0);  // the gather copy costs time
+  });
+  world.run();
+}
+
+}  // namespace
+}  // namespace pm2::nm

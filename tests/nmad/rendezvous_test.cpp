@@ -1,0 +1,186 @@
+// Rendezvous protocol: RTS/CTS handshake, early/late receivers, unexpected
+// handling, and overlap with background progression.
+#include <gtest/gtest.h>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i * 11);
+  return v;
+}
+
+constexpr std::size_t kBig = 100 * 1024;  // above the 32 KiB threshold
+
+TEST(Rendezvous, EarlyReceiverCompletes) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(1, [&world] {
+    // Receiver posts first, then the RTS finds a posted recv.
+    std::vector<std::uint8_t> buf(kBig);
+    EXPECT_EQ(world.core(1).recv(world.gate(1, 0), 5, buf.data(), buf.size()),
+              kBig);
+    EXPECT_EQ(buf, pattern(kBig));
+  });
+  world.spawn(0, [&world] {
+    auto& sched = world.sched(0);
+    sched.work(sim::microseconds(50));  // ensure the receiver went first
+    static auto data = pattern(kBig);
+    world.core(0).send(world.gate(0, 1), 5, data.data(), data.size());
+  });
+  world.run();
+  EXPECT_GE(world.core(0).stats().rdv_handshakes +
+                world.core(1).stats().rdv_handshakes,
+            1u);
+}
+
+TEST(Rendezvous, LateReceiverAdoptsUnexpectedRts) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    static auto data = pattern(kBig);
+    world.core(0).send(world.gate(0, 1), 5, data.data(), data.size());
+  });
+  world.spawn(1, [&world] {
+    auto& sched = world.sched(1);
+    // Let the RTS arrive and sit unexpected before posting the receive.
+    // A busy progression pass is needed since nothing else polls: use a
+    // dummy recv on another tag? Simpler: sleep, then post -- the RTS is
+    // pulled in by our own wait loop's polling.
+    sched.work(sim::microseconds(30));
+    std::vector<std::uint8_t> buf(kBig);
+    EXPECT_EQ(world.core(1).recv(world.gate(1, 0), 5, buf.data(), buf.size()),
+              kBig);
+    EXPECT_EQ(buf, pattern(kBig));
+  });
+  world.run();
+}
+
+TEST(Rendezvous, ThresholdBoundaryIsRespected) {
+  // A message of exactly the threshold stays eager; one byte more goes
+  // rendezvous.
+  for (std::size_t delta : {std::size_t{0}, std::size_t{1}}) {
+    nm::ClusterConfig cfg;
+    cfg.nm.rdv_threshold = 4096;
+    nm::Cluster world(cfg);
+    const std::size_t size = 4096 + delta;
+    world.spawn(0, [&world, size] {
+      static std::vector<std::uint8_t> data;
+      data = pattern(size);
+      world.core(0).send(world.gate(0, 1), 5, data.data(), data.size());
+    });
+    world.spawn(1, [&world, size] {
+      std::vector<std::uint8_t> buf(size);
+      EXPECT_EQ(world.core(1).recv(world.gate(1, 0), 5, buf.data(), buf.size()),
+                size);
+    });
+    world.run();
+    const std::uint64_t handshakes = world.core(0).stats().rdv_handshakes;
+    if (delta == 0) {
+      EXPECT_EQ(handshakes, 0u) << "at-threshold message must stay eager";
+    } else {
+      EXPECT_GE(handshakes, 1u) << "above-threshold message must rendezvous";
+    }
+  }
+}
+
+TEST(Rendezvous, ManyConcurrentLargeTransfers) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  constexpr int kCount = 6;
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    static std::vector<std::vector<std::uint8_t>> blocks;
+    blocks.clear();
+    std::vector<nm::Request*> reqs;
+    for (int i = 0; i < kCount; ++i) {
+      blocks.push_back(pattern(kBig + static_cast<std::size_t>(i) * 1000));
+      reqs.push_back(c.isend(world.gate(0, 1), 100 + static_cast<Tag>(i),
+                             blocks.back().data(), blocks.back().size()));
+    }
+    for (auto* r : reqs) {
+      c.wait(r);
+      c.release(r);
+    }
+  });
+  world.spawn(1, [&world] {
+    nm::Core& c = world.core(1);
+    std::vector<nm::Request*> reqs;
+    static std::vector<std::vector<std::uint8_t>> bufs;
+    bufs.assign(kCount, {});
+    for (int i = 0; i < kCount; ++i) {
+      bufs[static_cast<std::size_t>(i)].resize(kBig + static_cast<std::size_t>(i) * 1000);
+      reqs.push_back(c.irecv(world.gate(1, 0), 100 + static_cast<Tag>(i),
+                             bufs[static_cast<std::size_t>(i)].data(),
+                             bufs[static_cast<std::size_t>(i)].size()));
+    }
+    for (int i = 0; i < kCount; ++i) {
+      c.wait(reqs[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(reqs[static_cast<std::size_t>(i)]->received_length(),
+                kBig + static_cast<std::size_t>(i) * 1000);
+      c.release(reqs[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(bufs[static_cast<std::size_t>(i)],
+                pattern(kBig + static_cast<std::size_t>(i) * 1000));
+    }
+  });
+  world.run();
+}
+
+TEST(Rendezvous, TooSmallReceiveBufferThrows) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    static auto data = pattern(kBig);
+    world.core(0).isend(world.gate(0, 1), 5, data.data(), data.size());
+    // Keep polling so the RTS is on the wire; the peer will abort.
+    world.sched(0).work(sim::microseconds(100));
+  });
+  world.spawn(1, [&world] {
+    std::vector<std::uint8_t> tiny(128);
+    world.sched(1).work(sim::microseconds(30));
+    EXPECT_THROW(
+        world.core(1).recv(world.gate(1, 0), 5, tiny.data(), tiny.size()),
+        std::length_error);
+  });
+  world.run();
+}
+
+TEST(Rendezvous, BackgroundProgressionOverlapsHandshake) {
+  // With PIOMan hooks, a sender that computes after isend still completes
+  // the handshake + transfer in the background; app-driven does not.
+  auto completion_time = [](ProgressMode mode) {
+    nm::ClusterConfig cfg;
+    cfg.nm.progress = mode;
+    nm::Cluster world(cfg);
+    sim::Time received_at = 0;
+    world.spawn(0, [&world] {
+      static auto data = pattern(kBig);
+      world.core(0).isend(world.gate(0, 1), 5, data.data(), data.size());
+      world.sched(0).work(sim::milliseconds(2));  // long compute, no polling
+      // (request intentionally not waited before the compute ends)
+      nm::Request* done = world.core(0).irecv(world.gate(0, 1), 6, nullptr, 0);
+      world.core(0).wait(done);
+      world.core(0).release(done);
+    });
+    world.spawn(1, [&world, &received_at] {
+      std::vector<std::uint8_t> buf(kBig);
+      world.core(1).recv(world.gate(1, 0), 5, buf.data(), buf.size());
+      received_at = world.engine().now();
+      world.core(1).send(world.gate(1, 0), 6, nullptr, 0);
+    });
+    world.run();
+    return received_at;
+  };
+  const sim::Time hooks = completion_time(ProgressMode::kPiomanHooks);
+  const sim::Time app = completion_time(ProgressMode::kAppDriven);
+  // With hooks the transfer lands during the 2 ms compute; app-driven only
+  // finishes after it.
+  EXPECT_LT(hooks, sim::milliseconds(1));
+  EXPECT_GT(app, sim::milliseconds(2));
+}
+
+}  // namespace
+}  // namespace pm2::nm

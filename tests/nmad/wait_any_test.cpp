@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+TEST(WaitAny, ReturnsTheCompletedIndex) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    std::uint8_t a = 0, b = 0;
+    std::vector<nm::Request*> reqs = {
+        c.irecv(world.gate(0, 1), 1, &a, 1),
+        c.irecv(world.gate(0, 1), 2, &b, 1),
+    };
+    // The peer sends tag 2 first.
+    const std::size_t first = c.wait_any(reqs);
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(b, 22);
+    c.release(reqs[1]);
+    reqs[1] = nullptr;
+    const std::size_t second = c.wait_any(reqs);
+    EXPECT_EQ(second, 0u);
+    EXPECT_EQ(a, 11);
+    c.release(reqs[0]);
+  });
+  world.spawn(1, [&world] {
+    nm::Core& c = world.core(1);
+    std::uint8_t v2 = 22, v1 = 11;
+    c.send(world.gate(1, 0), 2, &v2, 1);
+    world.sched(1).work(sim::microseconds(15));
+    c.send(world.gate(1, 0), 1, &v1, 1);
+  });
+  world.run();
+}
+
+TEST(WaitAny, AlreadyCompleteReturnsImmediately) {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    std::uint8_t v = 1;
+    nm::Request* sr = c.isend(world.gate(0, 1), 1, &v, 1);
+    c.wait(sr);  // PIO send: complete
+    std::vector<nm::Request*> reqs = {nullptr, sr};
+    const sim::Time t0 = world.engine().now();
+    EXPECT_EQ(c.wait_any(reqs), 1u);
+    EXPECT_LT(world.engine().now() - t0, 500);
+    c.release(sr);
+  });
+  world.spawn(1, [&world] {
+    std::uint8_t b = 0;
+    world.core(1).recv(world.gate(1, 0), 1, &b, 1);
+  });
+  world.run();
+}
+
+TEST(WaitAny, ServicesManyStreams) {
+  nm::ClusterConfig cfg;
+  cfg.nodes = 3;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    nm::Core& c = world.core(0);
+    std::uint32_t bufs[8] = {};
+    std::vector<nm::Request*> reqs;
+    for (int k = 0; k < 8; ++k) {
+      reqs.push_back(c.irecv(world.gate(0, 1 + k % 2), static_cast<Tag>(k),
+                             &bufs[k], sizeof(std::uint32_t)));
+    }
+    std::uint64_t sum = 0;
+    for (int k = 0; k < 8; ++k) {
+      const std::size_t i = c.wait_any(reqs);
+      sum += bufs[i];
+      c.release(reqs[i]);
+      reqs[i] = nullptr;
+    }
+    EXPECT_EQ(sum, 8u * 100 + (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+  });
+  for (int n = 1; n <= 2; ++n) {
+    world.spawn(n, [&world, n] {
+      nm::Core& c = world.core(n);
+      for (int k = n - 1; k < 8; k += 2) {
+        std::uint32_t v = 100 + static_cast<std::uint32_t>(k);
+        world.sched(n).work(sim::microseconds((k * 7) % 11));
+        c.send(world.gate(n, 0), static_cast<Tag>(k), &v, sizeof(v));
+      }
+    });
+  }
+  world.run();
+}
+
+}  // namespace
+}  // namespace pm2::nm

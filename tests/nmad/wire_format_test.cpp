@@ -1,0 +1,143 @@
+#include "nmad/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pm2::nm {
+namespace {
+
+TEST(WireFormat, EmptyBuilderYieldsCountOnlyPayload) {
+  PacketBuilder b;
+  EXPECT_EQ(b.chunk_count(), 0u);
+  auto payload = b.take();
+  EXPECT_EQ(payload.size(), 2u);
+  PacketReader r(payload);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireFormat, RoundTripSingleChunk) {
+  PacketBuilder b;
+  const std::uint8_t data[5] = {1, 2, 3, 4, 5};
+  ChunkHeader h;
+  h.kind = ChunkKind::kEager;
+  h.tag = 0xDEADBEEFCAFEull;
+  h.msg_seq = 42;
+  h.offset = 7;
+  h.chunk_len = 5;
+  h.total_len = 12;
+  h.cookie = 0x1122334455667788ull;
+  b.add_chunk(h, data);
+  auto payload = b.take();
+
+  PacketReader r(payload);
+  ASSERT_EQ(r.remaining(), 1u);
+  const std::uint8_t* out = nullptr;
+  auto got = r.next(&out);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, ChunkKind::kEager);
+  EXPECT_EQ(got->tag, h.tag);
+  EXPECT_EQ(got->msg_seq, 42u);
+  EXPECT_EQ(got->offset, 7u);
+  EXPECT_EQ(got->chunk_len, 5u);
+  EXPECT_EQ(got->total_len, 12u);
+  EXPECT_EQ(got->cookie, h.cookie);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(std::memcmp(out, data, 5), 0);
+  EXPECT_FALSE(r.next(&out).has_value());
+}
+
+TEST(WireFormat, RoundTripMultipleChunks) {
+  PacketBuilder b;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    std::uint8_t byte = static_cast<std::uint8_t>(i + 10);
+    ChunkHeader h;
+    h.kind = i % 2 ? ChunkKind::kEager : ChunkKind::kRts;
+    h.tag = i;
+    h.msg_seq = i * 100;
+    h.chunk_len = i % 2 ? 1 : 0;
+    b.add_chunk(h, h.chunk_len ? &byte : nullptr);
+  }
+  auto payload = b.take();
+  PacketReader r(payload);
+  EXPECT_EQ(r.remaining(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const std::uint8_t* out = nullptr;
+    auto got = r.next(&out);
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(got->tag, i);
+    EXPECT_EQ(got->msg_seq, i * 100);
+    if (i % 2) {
+      ASSERT_NE(out, nullptr);
+      EXPECT_EQ(*out, i + 10);
+    }
+  }
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireFormat, BuilderIsReusableAfterTake) {
+  PacketBuilder b;
+  ChunkHeader h;
+  h.chunk_len = 0;
+  b.add_chunk(h, nullptr);
+  auto first = b.take();
+  EXPECT_EQ(b.chunk_count(), 0u);
+  auto second = b.take();
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_GT(first.size(), second.size());
+}
+
+TEST(WireFormat, SizeWithPredictsGrowth) {
+  PacketBuilder b;
+  const std::size_t predicted = b.size_with(10);
+  std::uint8_t data[10] = {};
+  ChunkHeader h;
+  h.chunk_len = 10;
+  b.add_chunk(h, data);
+  EXPECT_EQ(b.payload_size(), predicted);
+}
+
+TEST(WireFormat, TruncatedPayloadRejected) {
+  PacketBuilder b;
+  std::uint8_t data[4] = {9, 9, 9, 9};
+  ChunkHeader h;
+  h.chunk_len = 4;
+  b.add_chunk(h, data);
+  auto payload = b.take();
+  payload.resize(payload.size() - 3);  // chop the tail
+  PacketReader r(payload);
+  const std::uint8_t* out = nullptr;
+  EXPECT_FALSE(r.next(&out).has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireFormat, BadKindRejected) {
+  PacketBuilder b;
+  ChunkHeader h;
+  h.chunk_len = 0;
+  b.add_chunk(h, nullptr);
+  auto payload = b.take();
+  payload[2] = 0x7F;  // corrupt the kind byte of the first chunk
+  PacketReader r(payload);
+  const std::uint8_t* out = nullptr;
+  EXPECT_FALSE(r.next(&out).has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireFormat, EmptyPayloadRejected) {
+  std::vector<std::uint8_t> empty;
+  PacketReader r(empty);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireFormat, HeaderWireSizeMatchesSerialization) {
+  PacketBuilder b;
+  ChunkHeader h;
+  h.chunk_len = 0;
+  b.add_chunk(h, nullptr);
+  EXPECT_EQ(b.payload_size(), 2 + ChunkHeader::kWireSize);
+}
+
+}  // namespace
+}  // namespace pm2::nm

@@ -1,0 +1,68 @@
+#include "simcore/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace pm2::sim {
+namespace {
+
+TEST(ChromeTrace, EmitsCompleteEvents) {
+  ChromeTrace t;
+  t.complete_event("work", "thread", 0, 1, 1000, 500);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.500"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0,\"tid\":1"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsInstantAndCounter) {
+  ChromeTrace t;
+  t.instant_event("rx", "nic", 1, 64, 2000);
+  t.counter_event("queue", 1, 2000, 3.5);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3.5"), std::string::npos);
+}
+
+TEST(ChromeTrace, MetadataNamesProcessesAndThreads) {
+  ChromeTrace t;
+  t.set_process_name(2, "node 2");
+  t.set_thread_name(2, 0, "core 0");
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("node 2"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters) {
+  ChromeTrace t;
+  t.instant_event("we\"ird\\name", "cat", 0, 0, 0);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFile) {
+  ChromeTrace t;
+  t.complete_event("x", "y", 0, 0, 0, 10);
+  const std::string path = ::testing::TempDir() + "/pm2sim_trace_test.json";
+  t.write(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, WriteToBadPathThrows) {
+  ChromeTrace t;
+  EXPECT_THROW(t.write("/nonexistent-dir-xyz/trace.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pm2::sim

@@ -1,0 +1,118 @@
+#include "simcore/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pm2::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  q.schedule(50, [] {});
+  auto h = q.schedule(20, [] {});
+  EXPECT_EQ(q.next_time(), 20);
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(10, [&] { ++fired; });
+  q.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue q;
+  auto h = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  auto h = q.schedule(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, DefaultHandleIsInvalid) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.pending());
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, PopSkipsCancelledEntries) {
+  EventQueue q;
+  auto h1 = q.schedule(10, [] {});
+  int fired = 0;
+  q.schedule(20, [&] { fired = 1; });
+  q.cancel(h1);
+  auto [t, cb] = q.pop();
+  EXPECT_EQ(t, 20);
+  cb();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedSchedulesAndCancels) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(q.schedule(i % 97, [&] { ++fired; }));
+  }
+  for (size_t i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+  EXPECT_EQ(q.size(), 500u);
+  Time last = -1;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    cb();
+  }
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace pm2::sim

@@ -1,0 +1,35 @@
+#include "simcore/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2::sim {
+namespace {
+
+TEST(Trace, ConfigureParsesDefaults) {
+  EXPECT_TRUE(Trace::configure("info"));
+  EXPECT_TRUE(Trace::enabled("anything", TraceLevel::kInfo));
+  EXPECT_FALSE(Trace::enabled("anything", TraceLevel::kDebug));
+  Trace::set_level(TraceLevel::kOff);
+}
+
+TEST(Trace, ConfigurePerComponent) {
+  EXPECT_TRUE(Trace::configure("off,nmad=debug"));
+  EXPECT_TRUE(Trace::enabled("nmad", TraceLevel::kDebug));
+  EXPECT_FALSE(Trace::enabled("sched", TraceLevel::kError));
+  Trace::set_level("nmad", TraceLevel::kOff);
+  Trace::set_level(TraceLevel::kOff);
+}
+
+TEST(Trace, MalformedSpecRejected) {
+  EXPECT_FALSE(Trace::configure("verbose"));
+  EXPECT_FALSE(Trace::configure("nmad=loud"));
+  Trace::set_level(TraceLevel::kOff);
+}
+
+TEST(Trace, EmptySegmentsTolerated) {
+  EXPECT_TRUE(Trace::configure(",,info,,"));
+  Trace::set_level(TraceLevel::kOff);
+}
+
+}  // namespace
+}  // namespace pm2::sim

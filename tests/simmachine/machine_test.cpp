@@ -1,0 +1,83 @@
+#include "simmachine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2::mach {
+namespace {
+
+class MachineTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  Machine machine_{engine_, "node0", CacheTopology::quad_core(),
+                   CostBook::xeon_quad()};
+};
+
+TEST_F(MachineTest, FirstTouchIsFree) {
+  CacheLine line;
+  EXPECT_EQ(machine_.touch_line(line, 2), 0);
+  EXPECT_EQ(line.owner_core, 2);
+}
+
+TEST_F(MachineTest, SameCoreReaccessIsFree) {
+  CacheLine line;
+  machine_.touch_line(line, 1);
+  EXPECT_EQ(machine_.touch_line(line, 1), 0);
+}
+
+TEST_F(MachineTest, SharedL2TransferCost) {
+  CacheLine line;
+  machine_.touch_line(line, 0);
+  EXPECT_EQ(machine_.touch_line(line, 1), machine_.costs().line_shared_l2);
+  EXPECT_EQ(line.owner_core, 1);
+}
+
+TEST_F(MachineTest, CrossL2TransferCost) {
+  CacheLine line;
+  machine_.touch_line(line, 0);
+  EXPECT_EQ(machine_.touch_line(line, 2), machine_.costs().line_same_chip);
+}
+
+TEST_F(MachineTest, PeekDoesNotRetag) {
+  CacheLine line;
+  machine_.touch_line(line, 0);
+  EXPECT_EQ(machine_.peek_line(line, 3), machine_.costs().line_same_chip);
+  EXPECT_EQ(line.owner_core, 0);
+}
+
+TEST_F(MachineTest, TransferStatsAccumulate) {
+  CacheLine line;
+  machine_.touch_line(line, 0);
+  machine_.touch_line(line, 1);
+  machine_.touch_line(line, 2);
+  EXPECT_EQ(machine_.line_transfers(), 2u);
+  EXPECT_EQ(machine_.line_transfer_time(),
+            machine_.costs().line_shared_l2 + machine_.costs().line_same_chip);
+}
+
+TEST(MachineDualQuad, CrossChipCost) {
+  sim::Engine engine;
+  Machine m(engine, "big", CacheTopology::dual_quad_core(),
+            CostBook::xeon_dual_quad());
+  CacheLine line;
+  m.touch_line(line, 0);
+  EXPECT_EQ(m.touch_line(line, 7), m.costs().line_other_chip);
+  m.touch_line(line, 0);
+  EXPECT_EQ(m.touch_line(line, 2), m.costs().line_same_chip);
+  EXPECT_EQ(m.costs().line_same_chip, 425);
+  EXPECT_EQ(m.costs().line_other_chip, 575);
+}
+
+TEST(CostBookCalibration, MatchesPaperPrimitives) {
+  const CostBook c = CostBook::xeon_quad();
+  // Sec. 3.1: one spinlock acquire/release cycle = 70 ns.
+  EXPECT_EQ(c.spin_acquire + c.spin_release, 70);
+  // Sec. 3.3: one block+wake round = ~750 ns (switch out + switch in).
+  EXPECT_EQ(2 * c.context_switch, 750);
+  // Fig. 8 quad-core: ~5.5 handoffs on the remote-poll critical path land
+  // the end-to-end overhead at ~400 ns (shared L2) / ~1.2 us (same chip).
+  EXPECT_NEAR(5.5 * static_cast<double>(c.line_shared_l2), 400.0, 30.0);
+  EXPECT_NEAR(5.5 * static_cast<double>(c.line_same_chip), 1200.0, 30.0);
+}
+
+}  // namespace
+}  // namespace pm2::mach

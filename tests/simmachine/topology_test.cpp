@@ -1,0 +1,60 @@
+#include "simmachine/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2::mach {
+namespace {
+
+TEST(Topology, QuadCoreLayout) {
+  auto t = CacheTopology::quad_core();
+  EXPECT_EQ(t.num_cores(), 4);
+  EXPECT_EQ(t.num_chips(), 1);
+  // X5460: L2 pairs {0,1} and {2,3}.
+  EXPECT_EQ(t.domain(0, 0), CacheDomain::kSameCore);
+  EXPECT_EQ(t.domain(0, 1), CacheDomain::kSharedL2);
+  EXPECT_EQ(t.domain(0, 2), CacheDomain::kSameChip);
+  EXPECT_EQ(t.domain(0, 3), CacheDomain::kSameChip);
+  EXPECT_EQ(t.domain(2, 3), CacheDomain::kSharedL2);
+}
+
+TEST(Topology, DomainIsSymmetric) {
+  auto t = CacheTopology::dual_quad_core();
+  for (int a = 0; a < t.num_cores(); ++a) {
+    for (int b = 0; b < t.num_cores(); ++b) {
+      EXPECT_EQ(t.domain(a, b), t.domain(b, a)) << a << "," << b;
+    }
+  }
+}
+
+TEST(Topology, DualQuadCrossChip) {
+  auto t = CacheTopology::dual_quad_core();
+  EXPECT_EQ(t.num_cores(), 8);
+  EXPECT_EQ(t.num_chips(), 2);
+  EXPECT_EQ(t.domain(0, 1), CacheDomain::kSharedL2);
+  EXPECT_EQ(t.domain(0, 2), CacheDomain::kSameChip);
+  for (int b = 4; b < 8; ++b) {
+    EXPECT_EQ(t.domain(0, b), CacheDomain::kOtherChip) << b;
+  }
+  EXPECT_EQ(t.domain(4, 5), CacheDomain::kSharedL2);
+}
+
+TEST(Topology, UniformGrouping) {
+  auto t = CacheTopology::uniform(6, 2);
+  EXPECT_EQ(t.num_cores(), 6);
+  EXPECT_EQ(t.domain(0, 1), CacheDomain::kSharedL2);
+  EXPECT_EQ(t.domain(1, 2), CacheDomain::kSameChip);
+  EXPECT_EQ(t.l2_of(5), 2);
+}
+
+TEST(Topology, UniformBadArgsThrow) {
+  EXPECT_THROW(CacheTopology::uniform(0, 1), std::invalid_argument);
+  EXPECT_THROW(CacheTopology::uniform(4, 0), std::invalid_argument);
+}
+
+TEST(Topology, DomainNames) {
+  EXPECT_STREQ(to_string(CacheDomain::kSameCore), "same-core");
+  EXPECT_STREQ(to_string(CacheDomain::kOtherChip), "other-chip");
+}
+
+}  // namespace
+}  // namespace pm2::mach

@@ -1,0 +1,244 @@
+#include "simnet/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simthread/scheduler.hpp"
+
+namespace pm2::net {
+namespace {
+
+class NicTest : public ::testing::Test {
+ protected:
+  NicTest()
+      : machine_a_(engine_, "a", mach::CacheTopology::quad_core(),
+                   mach::CostBook::xeon_quad()),
+        machine_b_(engine_, "b", mach::CacheTopology::quad_core(),
+                   mach::CostBook::xeon_quad()),
+        fabric_(engine_, "net"),
+        nic_a_(machine_a_, fabric_, NicParams::myri10g()),
+        nic_b_(machine_b_, fabric_, NicParams::myri10g()) {}
+
+  std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t seed = 1) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed + i);
+    return v;
+  }
+
+  sim::Engine engine_;
+  mach::Machine machine_a_, machine_b_;
+  Fabric fabric_;
+  Nic nic_a_, nic_b_;
+};
+
+TEST_F(NicTest, PortsAssignedInAttachOrder) {
+  EXPECT_EQ(nic_a_.port(), 0);
+  EXPECT_EQ(nic_b_.port(), 1);
+  EXPECT_EQ(fabric_.num_ports(), 2);
+  EXPECT_EQ(fabric_.port(0), &nic_a_);
+  EXPECT_EQ(fabric_.port(1), &nic_b_);
+}
+
+TEST_F(NicTest, DeliversPayloadIntact) {
+  auto payload = bytes(100);
+  nic_a_.post_send(1, 0, payload);
+  engine_.run();
+  ASSERT_TRUE(nic_b_.rx_pending());
+  auto pkt = nic_b_.poll();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->payload, payload);
+  EXPECT_EQ(pkt->src_port, 0);
+  EXPECT_EQ(pkt->dst_port, 1);
+  EXPECT_EQ(pkt->channel, 0);
+  EXPECT_FALSE(nic_b_.rx_pending());
+}
+
+TEST_F(NicTest, ArrivalTimeFollowsTimingModel) {
+  const auto& p = nic_a_.params();
+  const std::size_t size = 512;
+  sim::Time arrival = -1;
+  nic_b_.set_rx_notifier([&] { arrival = engine_.now(); });
+  nic_a_.post_send(1, 0, bytes(size));
+  engine_.run();
+  const auto wire = static_cast<sim::Time>(
+      std::llround(p.wire_ns_per_byte * static_cast<double>(size)));
+  EXPECT_EQ(arrival,
+            p.tx_dma_delay + wire + p.wire_latency + p.rx_deliver_delay);
+}
+
+TEST_F(NicTest, BackToBackPacketsSerializeOnTheWire) {
+  const auto& p = nic_a_.params();
+  const std::size_t size = 1000;
+  std::vector<sim::Time> arrivals;
+  nic_b_.set_rx_notifier([&] { arrivals.push_back(engine_.now()); });
+  nic_a_.post_send(1, 0, bytes(size));
+  nic_a_.post_send(1, 0, bytes(size));
+  engine_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const auto wire = static_cast<sim::Time>(p.wire_ns_per_byte * size);
+  // Second packet queues behind the first's wire occupancy.
+  EXPECT_EQ(arrivals[1] - arrivals[0], wire);
+}
+
+TEST_F(NicTest, InOrderDeliveryPerSender) {
+  const int kCount = nic_a_.params().tx_queue_depth;  // fill the queue once
+  for (int i = 0; i < kCount; ++i) {
+    nic_a_.post_send(1, 0, bytes(8, static_cast<std::uint8_t>(i)));
+  }
+  engine_.run();
+  for (int i = 0; i < kCount; ++i) {
+    auto pkt = nic_b_.poll();
+    ASSERT_TRUE(pkt.has_value()) << i;
+    EXPECT_EQ(pkt->payload[0], static_cast<std::uint8_t>(i));
+    EXPECT_EQ(pkt->seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(NicTest, TxQueueDepthEnforced) {
+  for (int i = 0; i < nic_a_.params().tx_queue_depth; ++i) {
+    ASSERT_TRUE(nic_a_.tx_ready());
+    nic_a_.post_send(1, 0, bytes(4096));
+  }
+  EXPECT_FALSE(nic_a_.tx_ready());
+  EXPECT_THROW(nic_a_.post_send(1, 0, bytes(8)), std::logic_error);
+  engine_.run();
+  EXPECT_TRUE(nic_a_.tx_ready());
+}
+
+TEST_F(NicTest, TxNotifierFiresWhenSlotFrees) {
+  int notified = 0;
+  nic_a_.set_tx_notifier([&] { ++notified; });
+  nic_a_.post_send(1, 0, bytes(64));
+  engine_.run();
+  EXPECT_EQ(notified, 1);
+}
+
+TEST_F(NicTest, WireDoneCallbackMarksBufferReusable) {
+  bool done = false;
+  auto h = nic_a_.post_send(1, 0, bytes(64), [&] { done = true; });
+  EXPECT_FALSE(h.done());
+  engine_.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(h.done());
+}
+
+TEST_F(NicTest, BadDestinationThrows) {
+  EXPECT_THROW(nic_a_.post_send(7, 0, bytes(8)), std::out_of_range);
+}
+
+TEST_F(NicTest, PollCostsChargedToContext) {
+  // Use a scheduler thread to observe priced polls.
+  mth::Scheduler sched(machine_b_);
+  nic_a_.post_send(1, 0, bytes(8));
+  sim::Time empty_cost = -1, hit_cost = -1;
+  sched.spawn([&] {
+    sched.sleep_for(sim::microseconds(10));  // let the packet arrive
+    sim::Time t0 = engine_.now();
+    (void)nic_b_.poll();  // hit
+    hit_cost = engine_.now() - t0;
+    t0 = engine_.now();
+    (void)nic_b_.poll();  // empty
+    empty_cost = engine_.now() - t0;
+  });
+  engine_.run();
+  EXPECT_EQ(hit_cost, nic_b_.params().poll_hit_cost);
+  EXPECT_EQ(empty_cost, nic_b_.params().poll_empty_cost);
+}
+
+TEST_F(NicTest, ChannelsArePreserved) {
+  nic_a_.post_send(1, 1, bytes(8));
+  engine_.run();
+  auto pkt = nic_b_.poll();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->channel, 1);
+}
+
+TEST_F(NicTest, StatsAccumulate) {
+  nic_a_.post_send(1, 0, bytes(100));
+  nic_a_.post_send(1, 0, bytes(50));
+  engine_.run();
+  (void)nic_b_.poll();
+  (void)nic_b_.poll();
+  (void)nic_b_.poll();  // empty
+  EXPECT_EQ(nic_a_.packets_sent(), 2u);
+  EXPECT_EQ(nic_a_.bytes_sent(), 150u);
+  EXPECT_EQ(nic_b_.packets_received(), 2u);
+  EXPECT_EQ(nic_b_.bytes_received(), 150u);
+  EXPECT_EQ(nic_b_.polls_hit(), 2u);
+  EXPECT_EQ(nic_b_.polls_empty(), 1u);
+}
+
+TEST(NicParamsTest, PresetsDiffer) {
+  const auto mx = NicParams::myri10g();
+  const auto ib = NicParams::connectx_ib();
+  const auto tcp = NicParams::tcp_gige();
+  EXPECT_LT(ib.wire_latency, mx.wire_latency);
+  EXPECT_LT(ib.wire_ns_per_byte, mx.wire_ns_per_byte);
+  EXPECT_GT(tcp.wire_latency, 10 * mx.wire_latency);
+  EXPECT_GT(tcp.wire_ns_per_byte, mx.wire_ns_per_byte);
+}
+
+TEST(FabricContention, IncastSerializesAtTheDestinationPort) {
+  // Two senders fire equal-size packets at one receiver simultaneously:
+  // the second delivery must queue behind the first on the egress port.
+  sim::Engine engine;
+  mach::Machine m(engine, "m", mach::CacheTopology::quad_core(),
+                  mach::CostBook::xeon_quad());
+  Fabric fabric(engine, "f");
+  Nic rx(m, fabric, NicParams::myri10g());
+  Nic tx1(m, fabric, NicParams::myri10g());
+  Nic tx2(m, fabric, NicParams::myri10g());
+  std::vector<sim::Time> arrivals;
+  rx.set_rx_notifier([&] { arrivals.push_back(engine.now()); });
+  const std::size_t size = 2000;
+  std::vector<std::uint8_t> payload(size, 1);
+  tx1.post_send(0, 0, payload);
+  tx2.post_send(0, 0, payload);
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const auto wire = static_cast<sim::Time>(
+      std::llround(rx.params().wire_ns_per_byte * static_cast<double>(size)));
+  EXPECT_EQ(arrivals[1] - arrivals[0], wire);
+}
+
+TEST(FabricContention, DistinctDestinationsDoNotContend) {
+  sim::Engine engine;
+  mach::Machine m(engine, "m", mach::CacheTopology::quad_core(),
+                  mach::CostBook::xeon_quad());
+  Fabric fabric(engine, "f");
+  Nic rx1(m, fabric, NicParams::myri10g());
+  Nic rx2(m, fabric, NicParams::myri10g());
+  Nic tx1(m, fabric, NicParams::myri10g());
+  Nic tx2(m, fabric, NicParams::myri10g());
+  std::vector<sim::Time> arrivals;
+  rx1.set_rx_notifier([&] { arrivals.push_back(engine.now()); });
+  rx2.set_rx_notifier([&] { arrivals.push_back(engine.now()); });
+  std::vector<std::uint8_t> payload(2000, 1);
+  tx1.post_send(0, 0, payload);
+  tx2.post_send(1, 0, payload);
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);  // fully parallel paths
+}
+
+TEST(NicParamsTest, ThreeNicFabricRoutesCorrectly) {
+  sim::Engine engine;
+  mach::Machine m(engine, "m", mach::CacheTopology::quad_core(),
+                  mach::CostBook::xeon_quad());
+  Fabric fabric(engine, "f");
+  Nic n0(m, fabric, NicParams::myri10g());
+  Nic n1(m, fabric, NicParams::myri10g());
+  Nic n2(m, fabric, NicParams::myri10g());
+  n0.post_send(2, 0, {1});
+  n1.post_send(0, 0, {2});
+  engine.run();
+  EXPECT_FALSE(n1.rx_pending());
+  ASSERT_TRUE(n2.rx_pending());
+  ASSERT_TRUE(n0.rx_pending());
+  EXPECT_EQ(n2.poll()->payload[0], 1);
+  EXPECT_EQ(n0.poll()->payload[0], 2);
+}
+
+}  // namespace
+}  // namespace pm2::net

@@ -1,0 +1,100 @@
+#include "simthread/exec_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simthread/scheduler.hpp"
+
+namespace pm2::mth {
+namespace {
+
+class ExecContextTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "n", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  Scheduler sched_{machine_};
+};
+
+TEST_F(ExecContextTest, NoContextOutsideExecution) {
+  EXPECT_EQ(ExecContext::current_or_null(), nullptr);
+}
+
+TEST_F(ExecContextTest, ThreadContextActiveInsideThread) {
+  bool checked = false;
+  sched_.spawn([&] {
+    auto& ctx = ExecContext::current();
+    EXPECT_TRUE(ctx.can_block());
+    EXPECT_EQ(ctx.core(), sched_.current_thread()->core());
+    EXPECT_EQ(&ctx.machine(), &machine_);
+    checked = true;
+  });
+  engine_.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ExecContextTest, ThreadChargeAdvancesClock) {
+  sim::Time delta = -1;
+  sched_.spawn([&] {
+    auto& ctx = ExecContext::current();
+    const sim::Time t0 = engine_.now();
+    ctx.charge(1234);
+    delta = engine_.now() - t0;
+  });
+  engine_.run();
+  EXPECT_EQ(delta, 1234);
+}
+
+TEST_F(ExecContextTest, HookContextAccumulatesWithoutClockAdvance) {
+  HookContext hctx(machine_, 2);
+  EXPECT_FALSE(hctx.can_block());
+  EXPECT_EQ(hctx.core(), 2);
+  const sim::Time consumed = hctx.run([&] {
+    ExecContext::current().charge(100);
+    ExecContext::current().charge(250);
+  });
+  EXPECT_EQ(consumed, 350);
+  EXPECT_EQ(hctx.consumed(), 350);
+  EXPECT_EQ(engine_.now(), 0);  // the clock did not move
+  hctx.reset();
+  EXPECT_EQ(hctx.consumed(), 0);
+}
+
+TEST_F(ExecContextTest, HookActivationNestsAndRestores) {
+  HookContext outer(machine_, 0);
+  HookContext inner(machine_, 1);
+  outer.run([&] {
+    EXPECT_EQ(ExecContext::current_or_null(), &outer);
+    inner.run([&] { EXPECT_EQ(ExecContext::current_or_null(), &inner); });
+    EXPECT_EQ(ExecContext::current_or_null(), &outer);
+  });
+  EXPECT_EQ(ExecContext::current_or_null(), nullptr);
+}
+
+TEST_F(ExecContextTest, TouchChargesLineTransfer) {
+  mach::CacheLine line;
+  machine_.touch_line(line, 3);  // owned by core 3
+  HookContext hctx(machine_, 0);
+  hctx.run([&] { ExecContext::current().touch(line); });
+  EXPECT_EQ(hctx.consumed(), machine_.costs().line_same_chip);  // 3 -> 0
+  EXPECT_EQ(line.owner_core, 0);
+}
+
+TEST_F(ExecContextTest, ThreadTouchMovesLineAndCharges) {
+  mach::CacheLine line;
+  sim::Time cost = -1;
+  mth::ThreadAttrs a;
+  a.bind_core = 1;
+  sched_.spawn([&] {
+    auto& ctx = ExecContext::current();
+    ctx.touch(line);  // first touch: free
+    const sim::Time t0 = engine_.now();
+    ctx.touch(line);  // same core: free
+    cost = engine_.now() - t0;
+  }, a);
+  engine_.run();
+  EXPECT_EQ(cost, 0);
+  EXPECT_EQ(line.owner_core, 1);
+}
+
+}  // namespace
+}  // namespace pm2::mth

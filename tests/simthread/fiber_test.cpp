@@ -1,0 +1,97 @@
+#include "simthread/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pm2::mth {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, SuspendAndResume) {
+  std::vector<int> order;
+  Fiber* self = nullptr;
+  Fiber f([&] {
+    order.push_back(1);
+    self->suspend();
+    order.push_back(3);
+    self->suspend();
+    order.push_back(5);
+  });
+  self = &f;
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  order.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksActiveFiber) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* seen = reinterpret_cast<Fiber*>(1);
+  Fiber f([&] { seen = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, TwoFibersInterleave) {
+  std::vector<int> order;
+  Fiber *pa = nullptr, *pb = nullptr;
+  Fiber a([&] {
+    order.push_back(1);
+    pa->suspend();
+    order.push_back(3);
+  });
+  Fiber b([&] {
+    order.push_back(2);
+    pb->suspend();
+    order.push_back(4);
+  });
+  pa = &a;
+  pb = &b;
+  a.resume();
+  b.resume();
+  a.resume();
+  b.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Fiber, DeepStackUsage) {
+  // Recursion deep enough to validate the stack actually works.
+  std::function<int(int)> fib = [&](int n) -> int {
+    return n < 2 ? n : fib(n - 1) + fib(n - 2);
+  };
+  int result = 0;
+  Fiber f([&] { result = fib(18); }, 512 * 1024);
+  f.resume();
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(Fiber, LocalStateSurvivesSuspension) {
+  Fiber* self = nullptr;
+  int out = 0;
+  Fiber f([&] {
+    int local = 7;
+    self->suspend();
+    local *= 6;
+    out = local;
+  });
+  self = &f;
+  f.resume();
+  f.resume();
+  EXPECT_EQ(out, 42);
+}
+
+}  // namespace
+}  // namespace pm2::mth

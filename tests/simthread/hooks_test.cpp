@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "simmachine/machine.hpp"
+#include "simthread/scheduler.hpp"
+
+namespace pm2::mth {
+namespace {
+
+class HooksTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "node0", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  Scheduler sched_{machine_};
+};
+
+TEST_F(HooksTest, IdleHookRunsOnIdleCores) {
+  int polls = 0;
+  bool want = true;
+  sched_.add_idle_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ++polls;
+        ctx.charge(100);
+        if (polls >= 10) want = false;
+      },
+      .want = [&](int) { return want; },
+  });
+  // One thread busy on core 0; cores 1..3 idle and should poll.
+  sched_.spawn([&] { sched_.work(sim::microseconds(5)); });
+  engine_.run();
+  EXPECT_GE(polls, 10);
+}
+
+TEST_F(HooksTest, IdleHookNotRunWithoutWant) {
+  int polls = 0;
+  sched_.add_idle_hook(Hook{
+      .run = [&](HookContext&) { ++polls; },
+      .want = [](int) { return false; },
+  });
+  sched_.spawn([&] { sched_.work(sim::microseconds(5)); });
+  engine_.run();
+  EXPECT_EQ(polls, 0);
+}
+
+TEST_F(HooksTest, IdleHookStopsWhenAllThreadsFinish) {
+  // want() stays true: the idle loop must still terminate once no thread
+  // remains, otherwise the engine would never drain.
+  int polls = 0;
+  sched_.add_idle_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ++polls;
+        ctx.charge(50);
+      },
+      .want = [](int) { return true; },
+  });
+  sched_.spawn([&] { sched_.work(sim::microseconds(2)); });
+  engine_.run();  // must terminate
+  EXPECT_GT(polls, 0);
+}
+
+TEST_F(HooksTest, SwitchHookFiresOnContextSwitch) {
+  int switches_seen = 0;
+  sched_.add_switch_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ++switches_seen;
+        ctx.charge(10);
+      },
+      .want = nullptr,
+  });
+  ThreadAttrs a;
+  a.bind_core = 0;
+  sched_.spawn([&] { sched_.yield(); }, a);
+  sched_.spawn([&] { sched_.yield(); }, a);
+  engine_.run();
+  EXPECT_GE(switches_seen, 2);
+}
+
+TEST_F(HooksTest, TimerHookFiresDuringLongWork) {
+  int ticks = 0;
+  sched_.add_timer_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ++ticks;
+        ctx.charge(100);
+      },
+      .want = nullptr,
+  });
+  sched_.spawn([&] { sched_.work(sim::milliseconds(10)); });
+  engine_.run();
+  // 10 ms of work at a 1 ms tick: ~10 ticks (first tick after 1 ms).
+  EXPECT_GE(ticks, 8);
+  EXPECT_LE(ticks, 12);
+}
+
+TEST_F(HooksTest, TimerHookCostDelaysThread) {
+  sched_.add_timer_hook(Hook{
+      .run = [](HookContext& ctx) { ctx.charge(sim::microseconds(10)); },
+      .want = nullptr,
+  });
+  sim::Time end = 0;
+  sched_.spawn([&] {
+    sched_.work(sim::milliseconds(5));
+    end = engine_.now();
+  });
+  engine_.run();
+  // 5 ticks x 10 us of hook work stolen from the thread.
+  EXPECT_GE(end, sim::milliseconds(5) + 4 * sim::microseconds(10));
+}
+
+TEST_F(HooksTest, HookWakeIsDelayedByAccruedCost) {
+  Thread* blocked = nullptr;
+  sim::Time woke_at = -1;
+  blocked = sched_.spawn([&] {
+    sched_.block_current();
+    woke_at = engine_.now();
+  });
+  bool fired = false;
+  sched_.add_idle_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        if (fired) return;
+        fired = true;
+        ctx.charge(sim::microseconds(2));
+        sched_.wake(blocked);  // wake visible only after the 2 us
+      },
+      .want = [&](int) { return !fired; },
+  });
+  // Keep one other thread alive so the world does not end early.
+  sched_.spawn([&] { sched_.work(sim::microseconds(10)); });
+  engine_.run();
+  ASSERT_GE(woke_at, 0);
+  EXPECT_GE(woke_at, sim::microseconds(2));
+}
+
+TEST_F(HooksTest, RemoveIdleHookStopsPolling) {
+  int polls = 0;
+  const int id = sched_.add_idle_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ++polls;
+        ctx.charge(100);
+      },
+      .want = [](int) { return true; },
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(5));
+    sched_.remove_idle_hook(id);
+    const int before = polls;
+    sched_.work(sim::microseconds(5));
+    EXPECT_EQ(polls, before);
+  });
+  engine_.run();
+  EXPECT_GT(polls, 0);
+}
+
+TEST_F(HooksTest, NotifyIdleWorkReArmsIdleCores) {
+  int polls = 0;
+  bool want = false;
+  sched_.add_idle_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ++polls;
+        ctx.charge(100);
+        want = false;  // one-shot
+      },
+      .want = [&](int) { return want; },
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(2));
+    EXPECT_EQ(polls, 0);
+    want = true;
+    sched_.notify_idle_work();
+    sched_.work(sim::microseconds(2));
+    EXPECT_GT(polls, 0);
+  });
+  engine_.run();
+}
+
+TEST_F(HooksTest, HookTimeAccountedPerCore) {
+  bool want = true;
+  sched_.add_idle_hook(Hook{
+      .run = [&](HookContext& ctx) {
+        ctx.charge(200);
+        want = false;
+      },
+      .want = [&](int core) { return want && core == 3; },
+  });
+  sched_.spawn([&] { sched_.work(sim::microseconds(5)); });
+  engine_.run();
+  EXPECT_EQ(sched_.core_hook_time(3), 200);
+  EXPECT_EQ(sched_.core_hook_time(1), 0);
+}
+
+}  // namespace
+}  // namespace pm2::mth

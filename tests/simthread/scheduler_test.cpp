@@ -1,0 +1,275 @@
+#include "simthread/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simmachine/machine.hpp"
+
+namespace pm2::mth {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "node0", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  Scheduler sched_{machine_};
+};
+
+TEST_F(SchedulerTest, SingleThreadRuns) {
+  int ran = 0;
+  sched_.spawn([&] { ran = 1; });
+  engine_.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sched_.live_threads(), 0);
+}
+
+TEST_F(SchedulerTest, WorkAdvancesVirtualTime) {
+  sim::Time end = -1;
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(10));
+    end = engine_.now();
+  });
+  engine_.run();
+  // First dispatch pays one context switch before the work itself.
+  EXPECT_EQ(end, sim::microseconds(10) + machine_.costs().context_switch);
+}
+
+TEST_F(SchedulerTest, ThreadCpuTimeAccounted) {
+  Thread* t = sched_.spawn([&] { sched_.work(sim::microseconds(3)); });
+  engine_.run();
+  EXPECT_EQ(t->cpu_time(), sim::microseconds(3));
+  EXPECT_TRUE(t->finished());
+}
+
+TEST_F(SchedulerTest, BindingRespected) {
+  std::vector<int> cores;
+  for (int c : {2, 0, 3}) {
+    ThreadAttrs attrs;
+    attrs.bind_core = c;
+    sched_.spawn([&cores, this] { cores.push_back(sched_.current_thread()->core()); },
+                 attrs);
+  }
+  engine_.run();
+  EXPECT_EQ(cores, (std::vector<int>{2, 0, 3}));
+}
+
+TEST_F(SchedulerTest, UnboundThreadsSpreadAcrossCores) {
+  std::vector<int> cores;
+  for (int i = 0; i < 4; ++i) {
+    sched_.spawn([&cores, this] {
+      cores.push_back(sched_.current_thread()->core());
+      sched_.work(sim::microseconds(100));
+    });
+  }
+  engine_.run();
+  std::sort(cores.begin(), cores.end());
+  EXPECT_EQ(cores, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(SchedulerTest, TwoThreadsOnOneCoreTimeshare) {
+  ThreadAttrs a;
+  a.bind_core = 0;
+  sim::Time end1 = 0, end2 = 0;
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(300));
+    end1 = engine_.now();
+  }, a);
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(300));
+    end2 = engine_.now();
+  }, a);
+  engine_.run();
+  // Round-robin at 100 us slices: both finish within one slice of each
+  // other, in the 600 us region, not serialized 300-then-600.
+  EXPECT_GT(end1, sim::microseconds(450));
+  EXPECT_GT(end2, sim::microseconds(450));
+  EXPECT_GT(sched_.context_switches(), 4u);
+}
+
+TEST_F(SchedulerTest, SleepWakesAtRightTime) {
+  sim::Time woke = -1;
+  sched_.spawn([&] {
+    sched_.sleep_for(sim::microseconds(50));
+    woke = engine_.now();
+  });
+  engine_.run();
+  // sleep 50 us, then a context switch to resume.
+  EXPECT_GE(woke, sim::microseconds(50));
+  EXPECT_LE(woke, sim::microseconds(51));
+}
+
+TEST_F(SchedulerTest, YieldRotatesRunqueue) {
+  ThreadAttrs a;
+  a.bind_core = 1;
+  std::vector<int> order;
+  sched_.spawn([&] {
+    order.push_back(1);
+    sched_.yield();
+    order.push_back(3);
+  }, a);
+  sched_.spawn([&] {
+    order.push_back(2);
+    sched_.yield();
+    order.push_back(4);
+  }, a);
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST_F(SchedulerTest, JoinWaitsForTarget) {
+  bool child_done = false;
+  sim::Time join_time = -1;
+  sched_.spawn([&] {
+    Thread* child = sched_.spawn([&] {
+      sched_.work(sim::microseconds(20));
+      child_done = true;
+    });
+    sched_.join(child);
+    EXPECT_TRUE(child_done);
+    join_time = engine_.now();
+  });
+  engine_.run();
+  EXPECT_GE(join_time, sim::microseconds(20));
+}
+
+TEST_F(SchedulerTest, JoinFinishedThreadReturnsImmediately) {
+  sched_.spawn([&] {
+    Thread* child = sched_.spawn([] {});
+    sched_.sleep_for(sim::microseconds(100));
+    EXPECT_TRUE(child->finished());
+    const sim::Time before = engine_.now();
+    sched_.join(child);
+    EXPECT_EQ(engine_.now(), before);
+  });
+  engine_.run();
+}
+
+TEST_F(SchedulerTest, BlockAndWake) {
+  Thread* sleeper = nullptr;
+  bool woke = false;
+  sleeper = sched_.spawn([&] {
+    sched_.block_current();
+    woke = true;
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(5));
+    sched_.wake(sleeper);
+  });
+  engine_.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(SchedulerTest, WakePermitPreventsLostWakeup) {
+  // Wake a thread that is Running (mid-charge) and about to block: the
+  // permit must make the subsequent block_current() a no-op.
+  Thread* t = nullptr;
+  bool done = false;
+  t = sched_.spawn([&] {
+    sched_.work(sim::microseconds(10));  // waker fires mid-work
+    sched_.block_current();
+    done = true;
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(3));
+    sched_.wake(t);  // t is Running on another core right now
+  });
+  engine_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(SchedulerTest, MigrateMovesThread) {
+  std::vector<int> cores;
+  ThreadAttrs a;
+  a.bind_core = 0;
+  sched_.spawn([&] {
+    cores.push_back(sched_.current_thread()->core());
+    sched_.migrate_current(2);
+    cores.push_back(sched_.current_thread()->core());
+  }, a);
+  engine_.run();
+  EXPECT_EQ(cores, (std::vector<int>{0, 2}));
+}
+
+TEST_F(SchedulerTest, SpinParkUnparkAccountsBusyTime) {
+  Thread* spinner = nullptr;
+  sim::Time resumed_at = -1;
+  spinner = sched_.spawn([&] {
+    sched_.spin_park();
+    resumed_at = engine_.now();
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(7));
+    sched_.spin_unpark(spinner, 20);
+  });
+  engine_.run();
+  EXPECT_GT(resumed_at, sim::microseconds(7));
+  // The spinner's whole park time counts as CPU (it was busy-waiting).
+  EXPECT_GT(spinner->cpu_time(), sim::microseconds(6));
+}
+
+TEST_F(SchedulerTest, SpinUnparkIsIdempotent) {
+  Thread* spinner = nullptr;
+  int resumes = 0;
+  spinner = sched_.spawn([&] {
+    sched_.spin_park();
+    ++resumes;
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(1));
+    sched_.spin_unpark(spinner, 0);
+    sched_.spin_unpark(spinner, 0);
+  });
+  engine_.run();
+  EXPECT_EQ(resumes, 1);
+}
+
+TEST_F(SchedulerTest, SpawnFromThreadChargesCost) {
+  sim::Time spawn_cost = -1;
+  sched_.spawn([&] {
+    const sim::Time before = engine_.now();
+    sched_.spawn([] {});
+    spawn_cost = engine_.now() - before;
+  });
+  engine_.run();
+  EXPECT_EQ(spawn_cost, machine_.costs().thread_spawn);
+}
+
+TEST_F(SchedulerTest, ManyThreadsAllComplete) {
+  int done = 0;
+  for (int i = 0; i < 64; ++i) {
+    sched_.spawn([&done, this, i] {
+      sched_.work(sim::nanoseconds(100 * (i + 1)));
+      ++done;
+    });
+  }
+  engine_.run();
+  EXPECT_EQ(done, 64);
+  EXPECT_EQ(sched_.live_threads(), 0);
+}
+
+TEST_F(SchedulerTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Engine engine;
+    mach::Machine machine(engine, "n", mach::CacheTopology::quad_core(),
+                          mach::CostBook::xeon_quad());
+    Scheduler sched(machine);
+    std::vector<std::uint64_t> order;
+    for (int i = 0; i < 8; ++i) {
+      sched.spawn([&order, &sched, i] {
+        sched.work(sim::nanoseconds(50 * (8 - i)));
+        order.push_back(static_cast<std::uint64_t>(i));
+      });
+    }
+    engine.run();
+    return std::pair(order, engine.now());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace pm2::mth

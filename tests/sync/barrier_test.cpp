@@ -1,0 +1,85 @@
+#include "sync/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pm2::sync {
+namespace {
+
+class BarrierTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "node0", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  mth::Scheduler sched_{machine_};
+};
+
+TEST_F(BarrierTest, AllArriveBeforeAnyoneLeaves) {
+  Barrier bar(sched_, 4);
+  int arrived = 0;
+  int min_seen = 100;
+  for (int i = 0; i < 4; ++i) {
+    sched_.spawn([&, i] {
+      sched_.work(sim::microseconds(static_cast<std::int64_t>(i) * 10 + 1));
+      ++arrived;
+      bar.arrive_and_wait();
+      min_seen = std::min(min_seen, arrived);
+    });
+  }
+  engine_.run();
+  EXPECT_EQ(min_seen, 4);
+  EXPECT_EQ(bar.generation(), 1u);
+}
+
+TEST_F(BarrierTest, ReusableAcrossGenerations) {
+  Barrier bar(sched_, 3);
+  std::vector<int> phases;
+  for (int i = 0; i < 3; ++i) {
+    sched_.spawn([&, i] {
+      for (int phase = 0; phase < 5; ++phase) {
+        sched_.work(sim::microseconds(static_cast<std::int64_t>(i) + 1));
+        bar.arrive_and_wait();
+        if (i == 0) phases.push_back(phase);
+      }
+    });
+  }
+  engine_.run();
+  EXPECT_EQ(phases, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(bar.generation(), 5u);
+}
+
+TEST_F(BarrierTest, SinglePartyNeverBlocks) {
+  Barrier bar(sched_, 1);
+  sched_.spawn([&] {
+    for (int i = 0; i < 10; ++i) bar.arrive_and_wait();
+  });
+  engine_.run();
+  EXPECT_EQ(bar.generation(), 10u);
+}
+
+TEST_F(BarrierTest, BadPartiesThrows) {
+  EXPECT_THROW(Barrier(sched_, 0), std::invalid_argument);
+}
+
+TEST_F(BarrierTest, LastArriverReleasesOthersPromptly) {
+  Barrier bar(sched_, 2);
+  sim::Time released = 0;
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  sched_.spawn([&] {
+    bar.arrive_and_wait();
+    released = engine_.now();
+  }, a0);
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(30));
+    bar.arrive_and_wait();
+  }, a1);
+  engine_.run();
+  EXPECT_GE(released, sim::microseconds(30));
+  EXPECT_LE(released, sim::microseconds(32));
+}
+
+}  // namespace
+}  // namespace pm2::sync

@@ -1,0 +1,173 @@
+#include "sync/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pm2::sync {
+namespace {
+
+class MutexTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "node0", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  mth::Scheduler sched_{machine_};
+};
+
+TEST_F(MutexTest, LockUnlockSingleThread) {
+  Mutex m(sched_);
+  sched_.spawn([&] {
+    m.lock();
+    EXPECT_TRUE(m.held());
+    m.unlock();
+    EXPECT_FALSE(m.held());
+  });
+  engine_.run();
+}
+
+TEST_F(MutexTest, GuardReleasesOnScopeExit) {
+  Mutex m(sched_);
+  sched_.spawn([&] {
+    {
+      MutexGuard g(m);
+      EXPECT_TRUE(m.held());
+    }
+    EXPECT_FALSE(m.held());
+  });
+  engine_.run();
+}
+
+TEST_F(MutexTest, ContendersBlockNotSpin) {
+  Mutex m(sched_);
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  sched_.spawn([&] {
+    m.lock();
+    sched_.work(sim::microseconds(50));
+    m.unlock();
+  }, a0);
+  sched_.spawn([&] {
+    sched_.charge_current(500);
+    m.lock();
+    m.unlock();
+  }, a1);
+  engine_.run();
+  // Core 1 slept while waiting: its busy time is far below the 50 us hold.
+  EXPECT_LT(sched_.core_busy_time(1), sim::microseconds(10));
+}
+
+TEST_F(MutexTest, HandoffIsFifo) {
+  Mutex m(sched_);
+  std::vector<int> order;
+  sched_.spawn([&] {
+    m.lock();
+    sched_.work(sim::microseconds(5));
+    m.unlock();
+  });
+  for (int i = 1; i <= 3; ++i) {
+    mth::ThreadAttrs a;
+    a.bind_core = i;
+    sched_.spawn([&, i] {
+      // Stagger arrivals beyond any cache-line transfer cost.
+      sched_.charge_current(sim::microseconds(2) * i);
+      m.lock();
+      order.push_back(i);
+      m.unlock();
+    }, a);
+  }
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(MutexTest, CriticalSectionInvariant) {
+  Mutex m(sched_);
+  int in = 0, max_in = 0;
+  long ops = 0;
+  for (int i = 0; i < 4; ++i) {
+    sched_.spawn([&] {
+      for (int k = 0; k < 25; ++k) {
+        MutexGuard g(m);
+        max_in = std::max(max_in, ++in);
+        sched_.charge_current(200);
+        ++ops;
+        --in;
+      }
+    });
+  }
+  engine_.run();
+  EXPECT_EQ(max_in, 1);
+  EXPECT_EQ(ops, 100);
+}
+
+TEST_F(MutexTest, TryLockSemantics) {
+  Mutex m(sched_);
+  sched_.spawn([&] {
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+  engine_.run();
+}
+
+class CondVarTest : public MutexTest {};
+
+TEST_F(CondVarTest, WaitReleasesMutexAndReacquires) {
+  Mutex m(sched_);
+  CondVar cv(sched_);
+  bool flag = false;
+  bool waiter_done = false;
+  sched_.spawn([&] {
+    MutexGuard g(m);
+    while (!flag) cv.wait(m);
+    EXPECT_TRUE(m.held());
+    waiter_done = true;
+  });
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(10));
+    MutexGuard g(m);  // must be acquirable: waiter released it
+    flag = true;
+    cv.notify_one();
+  });
+  engine_.run();
+  EXPECT_TRUE(waiter_done);
+}
+
+TEST_F(CondVarTest, NotifyAllWakesEveryone) {
+  Mutex m(sched_);
+  CondVar cv(sched_);
+  bool go = false;
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    sched_.spawn([&] {
+      MutexGuard g(m);
+      while (!go) cv.wait(m);
+      ++woke;
+    });
+  }
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(5));
+    MutexGuard g(m);
+    go = true;
+    cv.notify_all();
+  });
+  engine_.run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST_F(CondVarTest, NotifyWithoutWaitersIsNoop) {
+  Mutex m(sched_);
+  CondVar cv(sched_);
+  sched_.spawn([&] {
+    cv.notify_one();
+    cv.notify_all();
+  });
+  engine_.run();
+  EXPECT_EQ(cv.waiters(), 0u);
+}
+
+}  // namespace
+}  // namespace pm2::sync

@@ -1,0 +1,173 @@
+#include "sync/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pm2::sync {
+namespace {
+
+class SpinLockTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  mach::Machine machine_{engine_, "node0", mach::CacheTopology::quad_core(),
+                         mach::CostBook::xeon_quad()};
+  mth::Scheduler sched_{machine_};
+};
+
+TEST_F(SpinLockTest, UncontendedCycleCosts70ns) {
+  // The paper's Sec. 3.1 measurement: one acquire/release cycle = 70 ns.
+  SpinLock lock(sched_);
+  sim::Time cycle = -1;
+  mth::ThreadAttrs a;
+  a.bind_core = 0;
+  sched_.spawn([&] {
+    lock.lock();  // first cycle warms the cache line
+    lock.unlock();
+    const sim::Time before = engine_.now();
+    lock.lock();
+    lock.unlock();
+    cycle = engine_.now() - before;
+  }, a);
+  engine_.run();
+  EXPECT_EQ(cycle, 70);
+}
+
+TEST_F(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock lock(sched_);
+  int in_section = 0;
+  int max_in_section = 0;
+  long counter = 0;
+  for (int i = 0; i < 4; ++i) {
+    mth::ThreadAttrs a;
+    a.bind_core = i;
+    sched_.spawn([&] {
+      for (int k = 0; k < 50; ++k) {
+        lock.lock();
+        ++in_section;
+        max_in_section = std::max(max_in_section, in_section);
+        sched_.charge_current(100);  // hold the lock for a while
+        ++counter;
+        --in_section;
+        lock.unlock();
+        sched_.charge_current(50);
+      }
+    }, a);
+  }
+  engine_.run();
+  EXPECT_EQ(max_in_section, 1);
+  EXPECT_EQ(counter, 200);
+  EXPECT_GT(lock.contentions(), 0u);
+}
+
+TEST_F(SpinLockTest, ContendedHandoffIsFifo) {
+  SpinLock lock(sched_);
+  std::vector<int> order;
+  mth::ThreadAttrs a0;
+  a0.bind_core = 0;
+  sched_.spawn([&] {
+    lock.lock();
+    sched_.charge_current(sim::microseconds(10));  // let others pile up
+    lock.unlock();
+  }, a0);
+  for (int i = 1; i <= 3; ++i) {
+    mth::ThreadAttrs a;
+    a.bind_core = i;
+    sched_.spawn([&, i] {
+      // Stagger arrivals far enough apart that cache-line transfer costs
+      // (up to 600 ns) cannot reorder them.
+      sched_.charge_current(sim::microseconds(2) * i);
+      lock.lock();
+      order.push_back(i);
+      lock.unlock();
+    }, a);
+  }
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SpinLockTest, TryLockFailsWhenHeld) {
+  SpinLock lock(sched_);
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  sched_.spawn([&] {
+    lock.lock();
+    sched_.charge_current(sim::microseconds(1));
+    lock.unlock();
+  }, a0);
+  bool first_try = true, second_try = false;
+  sched_.spawn([&] {
+    sched_.charge_current(200);  // while the lock is held
+    first_try = lock.try_lock();
+    sched_.charge_current(sim::microseconds(2));  // after release
+    second_try = lock.try_lock();
+    if (second_try) lock.unlock();
+  }, a1);
+  engine_.run();
+  EXPECT_FALSE(first_try);
+  EXPECT_TRUE(second_try);
+}
+
+TEST_F(SpinLockTest, CrossCoreAcquirePaysLineTransfer) {
+  SpinLock lock(sched_);
+  sim::Time local_cycle = 0, remote_cycle = 0;
+  mth::ThreadAttrs a0;
+  a0.bind_core = 0;
+  mth::Thread* t0 = sched_.spawn([&] {
+    lock.lock();
+    lock.unlock();
+    sim::Time before = engine_.now();
+    lock.lock();
+    lock.unlock();
+    local_cycle = engine_.now() - before;
+  }, a0);
+  mth::ThreadAttrs a2;
+  a2.bind_core = 2;  // no shared cache with core 0
+  sched_.spawn([&] {
+    sched_.join(t0);
+    const sim::Time before = engine_.now();
+    lock.lock();
+    lock.unlock();
+    remote_cycle = engine_.now() - before;
+  }, a2);
+  engine_.run();
+  EXPECT_EQ(local_cycle, 70);
+  EXPECT_EQ(remote_cycle, 70 + machine_.costs().line_same_chip);
+}
+
+TEST_F(SpinLockTest, SpinnerOccupiesItsCore) {
+  SpinLock lock(sched_);
+  mth::ThreadAttrs a0, a1;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  sched_.spawn([&] {
+    lock.lock();
+    sched_.charge_current(sim::microseconds(5));
+    lock.unlock();
+  }, a0);
+  sched_.spawn([&] {
+    sched_.charge_current(100);
+    lock.lock();  // spins ~5 us
+    lock.unlock();
+  }, a1);
+  engine_.run();
+  // Core 1 was busy (spinning) for most of the 5 us wait.
+  EXPECT_GT(sched_.core_busy_time(1), sim::microseconds(4));
+}
+
+TEST_F(SpinLockTest, StatsCountAcquisitions) {
+  SpinLock lock(sched_);
+  sched_.spawn([&] {
+    for (int i = 0; i < 10; ++i) {
+      lock.lock();
+      lock.unlock();
+    }
+  });
+  engine_.run();
+  EXPECT_EQ(lock.acquisitions(), 10u);
+  EXPECT_EQ(lock.contentions(), 0u);
+}
+
+}  // namespace
+}  // namespace pm2::sync
