@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_collectives.dir/ablate_collectives.cpp.o"
+  "CMakeFiles/ablate_collectives.dir/ablate_collectives.cpp.o.d"
+  "ablate_collectives"
+  "ablate_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

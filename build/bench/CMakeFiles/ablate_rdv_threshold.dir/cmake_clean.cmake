@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rdv_threshold.dir/ablate_rdv_threshold.cpp.o"
+  "CMakeFiles/ablate_rdv_threshold.dir/ablate_rdv_threshold.cpp.o.d"
+  "ablate_rdv_threshold"
+  "ablate_rdv_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rdv_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

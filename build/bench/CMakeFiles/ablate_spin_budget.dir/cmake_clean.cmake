@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_spin_budget.dir/ablate_spin_budget.cpp.o"
+  "CMakeFiles/ablate_spin_budget.dir/ablate_spin_budget.cpp.o.d"
+  "ablate_spin_budget"
+  "ablate_spin_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_spin_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

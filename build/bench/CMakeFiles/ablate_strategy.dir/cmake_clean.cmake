@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_strategy.dir/ablate_strategy.cpp.o"
+  "CMakeFiles/ablate_strategy.dir/ablate_strategy.cpp.o.d"
+  "ablate_strategy"
+  "ablate_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_hybrid.dir/app_hybrid.cpp.o"
+  "CMakeFiles/app_hybrid.dir/app_hybrid.cpp.o.d"
+  "app_hybrid"
+  "app_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

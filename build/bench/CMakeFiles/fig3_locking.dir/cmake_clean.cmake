@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_locking.dir/fig3_locking.cpp.o"
+  "CMakeFiles/fig3_locking.dir/fig3_locking.cpp.o.d"
+  "fig3_locking"
+  "fig3_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

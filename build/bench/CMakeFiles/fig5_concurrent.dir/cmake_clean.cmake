@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_concurrent.dir/fig5_concurrent.cpp.o"
+  "CMakeFiles/fig5_concurrent.dir/fig5_concurrent.cpp.o.d"
+  "fig5_concurrent"
+  "fig5_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_pioman.cpp" "bench/CMakeFiles/fig6_pioman.dir/fig6_pioman.cpp.o" "gcc" "bench/CMakeFiles/fig6_pioman.dir/fig6_pioman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pm2_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/madmpi/CMakeFiles/pm2_madmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmad/CMakeFiles/pm2_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/pioman/CMakeFiles/pm2_pioman.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/pm2_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/pm2_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simthread/CMakeFiles/pm2_simthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmachine/CMakeFiles/pm2_simmachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pm2_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_waiting.dir/fig7_waiting.cpp.o"
+  "CMakeFiles/fig7_waiting.dir/fig7_waiting.cpp.o.d"
+  "fig7_waiting"
+  "fig7_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

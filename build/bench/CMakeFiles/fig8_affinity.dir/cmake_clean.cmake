@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_affinity.dir/fig8_affinity.cpp.o"
+  "CMakeFiles/fig8_affinity.dir/fig8_affinity.cpp.o.d"
+  "fig8_affinity"
+  "fig8_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

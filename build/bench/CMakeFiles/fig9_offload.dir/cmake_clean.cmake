@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_offload.dir/fig9_offload.cpp.o"
+  "CMakeFiles/fig9_offload.dir/fig9_offload.cpp.o.d"
+  "fig9_offload"
+  "fig9_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_bench_common.dir/common/harness.cpp.o"
+  "CMakeFiles/pm2_bench_common.dir/common/harness.cpp.o.d"
+  "libpm2_bench_common.a"
+  "libpm2_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_corewaste.dir/sec33_corewaste.cpp.o"
+  "CMakeFiles/sec33_corewaste.dir/sec33_corewaste.cpp.o.d"
+  "sec33_corewaste"
+  "sec33_corewaste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_corewaste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

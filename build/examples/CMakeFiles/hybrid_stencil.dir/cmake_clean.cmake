@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_stencil.dir/hybrid_stencil.cpp.o"
+  "CMakeFiles/hybrid_stencil.dir/hybrid_stencil.cpp.o.d"
+  "hybrid_stencil"
+  "hybrid_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

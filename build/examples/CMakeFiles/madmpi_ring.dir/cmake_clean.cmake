@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madmpi_ring.dir/madmpi_ring.cpp.o"
+  "CMakeFiles/madmpi_ring.dir/madmpi_ring.cpp.o.d"
+  "madmpi_ring"
+  "madmpi_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madmpi_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirail_transfer.dir/multirail_transfer.cpp.o"
+  "CMakeFiles/multirail_transfer.dir/multirail_transfer.cpp.o.d"
+  "multirail_transfer"
+  "multirail_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirail_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

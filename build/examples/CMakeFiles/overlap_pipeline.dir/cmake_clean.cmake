@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_pipeline.dir/overlap_pipeline.cpp.o"
+  "CMakeFiles/overlap_pipeline.dir/overlap_pipeline.cpp.o.d"
+  "overlap_pipeline"
+  "overlap_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

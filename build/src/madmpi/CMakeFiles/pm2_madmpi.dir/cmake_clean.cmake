@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_madmpi.dir/madmpi.cpp.o"
+  "CMakeFiles/pm2_madmpi.dir/madmpi.cpp.o.d"
+  "libpm2_madmpi.a"
+  "libpm2_madmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_madmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmad/cluster.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/cluster.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/cluster.cpp.o.d"
+  "/root/repo/src/nmad/core.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/core.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/core.cpp.o.d"
+  "/root/repo/src/nmad/driver.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/driver.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/driver.cpp.o.d"
+  "/root/repo/src/nmad/locking.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/locking.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/locking.cpp.o.d"
+  "/root/repo/src/nmad/pack.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/pack.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/pack.cpp.o.d"
+  "/root/repo/src/nmad/strategy.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/strategy.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/strategy.cpp.o.d"
+  "/root/repo/src/nmad/wire_format.cpp" "src/nmad/CMakeFiles/pm2_nmad.dir/wire_format.cpp.o" "gcc" "src/nmad/CMakeFiles/pm2_nmad.dir/wire_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pioman/CMakeFiles/pm2_pioman.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/pm2_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/pm2_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/simthread/CMakeFiles/pm2_simthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmachine/CMakeFiles/pm2_simmachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pm2_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_pioman.dir/server.cpp.o"
+  "CMakeFiles/pm2_pioman.dir/server.cpp.o.d"
+  "CMakeFiles/pm2_pioman.dir/tasklet.cpp.o"
+  "CMakeFiles/pm2_pioman.dir/tasklet.cpp.o.d"
+  "libpm2_pioman.a"
+  "libpm2_pioman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_pioman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_simcore.dir/chrome_trace.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/pm2_simcore.dir/engine.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/engine.cpp.o.d"
+  "CMakeFiles/pm2_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pm2_simcore.dir/random.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/random.cpp.o.d"
+  "CMakeFiles/pm2_simcore.dir/stats.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/pm2_simcore.dir/time.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/time.cpp.o.d"
+  "CMakeFiles/pm2_simcore.dir/trace.cpp.o"
+  "CMakeFiles/pm2_simcore.dir/trace.cpp.o.d"
+  "libpm2_simcore.a"
+  "libpm2_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

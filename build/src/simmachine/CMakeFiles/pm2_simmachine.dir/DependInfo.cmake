@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmachine/cost_book.cpp" "src/simmachine/CMakeFiles/pm2_simmachine.dir/cost_book.cpp.o" "gcc" "src/simmachine/CMakeFiles/pm2_simmachine.dir/cost_book.cpp.o.d"
+  "/root/repo/src/simmachine/machine.cpp" "src/simmachine/CMakeFiles/pm2_simmachine.dir/machine.cpp.o" "gcc" "src/simmachine/CMakeFiles/pm2_simmachine.dir/machine.cpp.o.d"
+  "/root/repo/src/simmachine/topology.cpp" "src/simmachine/CMakeFiles/pm2_simmachine.dir/topology.cpp.o" "gcc" "src/simmachine/CMakeFiles/pm2_simmachine.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/pm2_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_simmachine.dir/cost_book.cpp.o"
+  "CMakeFiles/pm2_simmachine.dir/cost_book.cpp.o.d"
+  "CMakeFiles/pm2_simmachine.dir/machine.cpp.o"
+  "CMakeFiles/pm2_simmachine.dir/machine.cpp.o.d"
+  "CMakeFiles/pm2_simmachine.dir/topology.cpp.o"
+  "CMakeFiles/pm2_simmachine.dir/topology.cpp.o.d"
+  "libpm2_simmachine.a"
+  "libpm2_simmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_simmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_simnet.dir/nic.cpp.o"
+  "CMakeFiles/pm2_simnet.dir/nic.cpp.o.d"
+  "CMakeFiles/pm2_simnet.dir/params.cpp.o"
+  "CMakeFiles/pm2_simnet.dir/params.cpp.o.d"
+  "libpm2_simnet.a"
+  "libpm2_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_simthread.dir/fiber.cpp.o"
+  "CMakeFiles/pm2_simthread.dir/fiber.cpp.o.d"
+  "CMakeFiles/pm2_simthread.dir/scheduler.cpp.o"
+  "CMakeFiles/pm2_simthread.dir/scheduler.cpp.o.d"
+  "libpm2_simthread.a"
+  "libpm2_simthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_simthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/barrier.cpp" "src/sync/CMakeFiles/pm2_sync.dir/barrier.cpp.o" "gcc" "src/sync/CMakeFiles/pm2_sync.dir/barrier.cpp.o.d"
+  "/root/repo/src/sync/completion_flag.cpp" "src/sync/CMakeFiles/pm2_sync.dir/completion_flag.cpp.o" "gcc" "src/sync/CMakeFiles/pm2_sync.dir/completion_flag.cpp.o.d"
+  "/root/repo/src/sync/mutex.cpp" "src/sync/CMakeFiles/pm2_sync.dir/mutex.cpp.o" "gcc" "src/sync/CMakeFiles/pm2_sync.dir/mutex.cpp.o.d"
+  "/root/repo/src/sync/rwlock.cpp" "src/sync/CMakeFiles/pm2_sync.dir/rwlock.cpp.o" "gcc" "src/sync/CMakeFiles/pm2_sync.dir/rwlock.cpp.o.d"
+  "/root/repo/src/sync/semaphore.cpp" "src/sync/CMakeFiles/pm2_sync.dir/semaphore.cpp.o" "gcc" "src/sync/CMakeFiles/pm2_sync.dir/semaphore.cpp.o.d"
+  "/root/repo/src/sync/spinlock.cpp" "src/sync/CMakeFiles/pm2_sync.dir/spinlock.cpp.o" "gcc" "src/sync/CMakeFiles/pm2_sync.dir/spinlock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simthread/CMakeFiles/pm2_simthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmachine/CMakeFiles/pm2_simmachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pm2_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_sync.dir/barrier.cpp.o"
+  "CMakeFiles/pm2_sync.dir/barrier.cpp.o.d"
+  "CMakeFiles/pm2_sync.dir/completion_flag.cpp.o"
+  "CMakeFiles/pm2_sync.dir/completion_flag.cpp.o.d"
+  "CMakeFiles/pm2_sync.dir/mutex.cpp.o"
+  "CMakeFiles/pm2_sync.dir/mutex.cpp.o.d"
+  "CMakeFiles/pm2_sync.dir/rwlock.cpp.o"
+  "CMakeFiles/pm2_sync.dir/rwlock.cpp.o.d"
+  "CMakeFiles/pm2_sync.dir/semaphore.cpp.o"
+  "CMakeFiles/pm2_sync.dir/semaphore.cpp.o.d"
+  "CMakeFiles/pm2_sync.dir/spinlock.cpp.o"
+  "CMakeFiles/pm2_sync.dir/spinlock.cpp.o.d"
+  "libpm2_sync.a"
+  "libpm2_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

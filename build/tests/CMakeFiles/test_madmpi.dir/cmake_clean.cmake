@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_madmpi.dir/madmpi/madmpi_test.cpp.o"
+  "CMakeFiles/test_madmpi.dir/madmpi/madmpi_test.cpp.o.d"
+  "test_madmpi"
+  "test_madmpi.pdb"
+  "test_madmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_madmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmad.dir/nmad/pingpong_test.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/pingpong_test.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/wire_format_test.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/wire_format_test.cpp.o.d"
+  "test_nmad"
+  "test_nmad.pdb"
+  "test_nmad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmad_units.dir/nmad/anytag_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/anytag_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/core_misc_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/core_misc_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/failure_injection_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/locking_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/locking_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/ordering_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/ordering_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/oversubscription_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/oversubscription_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/pack_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/pack_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/rendezvous_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/rendezvous_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/strategy_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/strategy_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/timeline_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/timeline_test.cpp.o.d"
+  "CMakeFiles/test_nmad_units.dir/nmad/wait_any_test.cpp.o"
+  "CMakeFiles/test_nmad_units.dir/nmad/wait_any_test.cpp.o.d"
+  "test_nmad_units"
+  "test_nmad_units.pdb"
+  "test_nmad_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmad_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pioman.dir/pioman/server_test.cpp.o"
+  "CMakeFiles/test_pioman.dir/pioman/server_test.cpp.o.d"
+  "CMakeFiles/test_pioman.dir/pioman/tasklet_test.cpp.o"
+  "CMakeFiles/test_pioman.dir/pioman/tasklet_test.cpp.o.d"
+  "test_pioman"
+  "test_pioman.pdb"
+  "test_pioman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pioman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simcore/chrome_trace_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/chrome_trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/chrome_trace_test.cpp.o.d"
+  "/root/repo/tests/simcore/engine_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/engine_test.cpp.o.d"
+  "/root/repo/tests/simcore/event_queue_fuzz_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/event_queue_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/event_queue_fuzz_test.cpp.o.d"
+  "/root/repo/tests/simcore/event_queue_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/event_queue_test.cpp.o.d"
+  "/root/repo/tests/simcore/random_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/random_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/random_test.cpp.o.d"
+  "/root/repo/tests/simcore/stats_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/stats_test.cpp.o.d"
+  "/root/repo/tests/simcore/trace_test.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/pm2_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore.dir/simcore/chrome_trace_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/chrome_trace_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/engine_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/engine_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_fuzz_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/random_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/random_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/stats_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/stats_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/trace_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/trace_test.cpp.o.d"
+  "test_simcore"
+  "test_simcore.pdb"
+  "test_simcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmachine.dir/simmachine/machine_test.cpp.o"
+  "CMakeFiles/test_simmachine.dir/simmachine/machine_test.cpp.o.d"
+  "CMakeFiles/test_simmachine.dir/simmachine/topology_test.cpp.o"
+  "CMakeFiles/test_simmachine.dir/simmachine/topology_test.cpp.o.d"
+  "test_simmachine"
+  "test_simmachine.pdb"
+  "test_simmachine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simthread.dir/simthread/exec_context_test.cpp.o"
+  "CMakeFiles/test_simthread.dir/simthread/exec_context_test.cpp.o.d"
+  "CMakeFiles/test_simthread.dir/simthread/fiber_test.cpp.o"
+  "CMakeFiles/test_simthread.dir/simthread/fiber_test.cpp.o.d"
+  "CMakeFiles/test_simthread.dir/simthread/hooks_test.cpp.o"
+  "CMakeFiles/test_simthread.dir/simthread/hooks_test.cpp.o.d"
+  "CMakeFiles/test_simthread.dir/simthread/scheduler_test.cpp.o"
+  "CMakeFiles/test_simthread.dir/simthread/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_simthread.dir/simthread/stress_test.cpp.o"
+  "CMakeFiles/test_simthread.dir/simthread/stress_test.cpp.o.d"
+  "test_simthread"
+  "test_simthread.pdb"
+  "test_simthread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

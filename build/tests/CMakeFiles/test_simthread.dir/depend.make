@@ -1,0 +1,2 @@
+# Empty dependencies file for test_simthread.
+# This may be replaced when dependencies are built.

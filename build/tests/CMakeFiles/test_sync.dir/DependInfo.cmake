@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sync/barrier_test.cpp" "tests/CMakeFiles/test_sync.dir/sync/barrier_test.cpp.o" "gcc" "tests/CMakeFiles/test_sync.dir/sync/barrier_test.cpp.o.d"
+  "/root/repo/tests/sync/completion_flag_test.cpp" "tests/CMakeFiles/test_sync.dir/sync/completion_flag_test.cpp.o" "gcc" "tests/CMakeFiles/test_sync.dir/sync/completion_flag_test.cpp.o.d"
+  "/root/repo/tests/sync/mutex_test.cpp" "tests/CMakeFiles/test_sync.dir/sync/mutex_test.cpp.o" "gcc" "tests/CMakeFiles/test_sync.dir/sync/mutex_test.cpp.o.d"
+  "/root/repo/tests/sync/rwlock_test.cpp" "tests/CMakeFiles/test_sync.dir/sync/rwlock_test.cpp.o" "gcc" "tests/CMakeFiles/test_sync.dir/sync/rwlock_test.cpp.o.d"
+  "/root/repo/tests/sync/semaphore_test.cpp" "tests/CMakeFiles/test_sync.dir/sync/semaphore_test.cpp.o" "gcc" "tests/CMakeFiles/test_sync.dir/sync/semaphore_test.cpp.o.d"
+  "/root/repo/tests/sync/spinlock_test.cpp" "tests/CMakeFiles/test_sync.dir/sync/spinlock_test.cpp.o" "gcc" "tests/CMakeFiles/test_sync.dir/sync/spinlock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/pm2_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/simthread/CMakeFiles/pm2_simthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmachine/CMakeFiles/pm2_simmachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pm2_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

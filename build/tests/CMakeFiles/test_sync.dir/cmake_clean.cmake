@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/sync/barrier_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/barrier_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/completion_flag_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/completion_flag_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/mutex_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/mutex_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/rwlock_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/rwlock_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/semaphore_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/semaphore_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/spinlock_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/spinlock_test.cpp.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simcore[1]_include.cmake")
+include("/root/repo/build/tests/test_simmachine[1]_include.cmake")
+include("/root/repo/build/tests/test_simthread[1]_include.cmake")
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_nmad[1]_include.cmake")
+include("/root/repo/build/tests/test_madmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_pioman[1]_include.cmake")
+include("/root/repo/build/tests/test_nmad_units[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
