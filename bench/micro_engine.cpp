@@ -4,6 +4,9 @@
 // library grows.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "nmad/cluster.hpp"
 #include "simcore/engine.hpp"
 #include "simthread/fiber.hpp"
@@ -57,6 +60,68 @@ void BM_CancelledEvents(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CancelledEvents);
+
+void BM_ScheduleCancelChurn(benchmark::State& state) {
+  // Steady-state churn: a fixed-size window of pending events where each
+  // fired event schedules a replacement and cancels a random victim.
+  // Exercises slot reuse through the free list and lazy-cancel compaction;
+  // after warm-up the loop should be allocation-free.
+  const int kWindow = 512;
+  sim::Engine engine;
+  std::vector<sim::EventHandle> window;
+  std::uint32_t rng = 0x9e3779b9u;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 17;
+    rng ^= rng << 5;
+    return rng;
+  };
+  sim::Time t = 0;
+  for (int i = 0; i < kWindow; ++i) {
+    window.push_back(engine.schedule_at(++t, [] {}));
+  }
+  for (auto _ : state) {
+    engine.cancel(window[next() % kWindow]);
+    for (int i = 0; i < kWindow; ++i) {
+      auto& h = window[i];
+      if (!h.pending()) h = engine.schedule_at(++t, [] {});
+    }
+    engine.run_until(t - kWindow / 2);
+    for (auto& h : window) {
+      if (!h.pending()) h = engine.schedule_at(++t, [] {});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+BENCHMARK(BM_ScheduleCancelChurn);
+
+void BM_ScheduleBurstOutOfOrder(benchmark::State& state) {
+  // Adversarial schedule order (decreasing times) so nothing rides the
+  // monotone lane: measures the pure heap path.
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = n; i-- > 0;) {
+      engine.schedule_at(i, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleBurstOutOfOrder)->Arg(1000)->Arg(100000);
+
+void BM_FiberCreateDestroy(benchmark::State& state) {
+  // Fiber lifecycle cost; after the first iteration the stack comes from
+  // mth::StackPool rather than a fresh mmap/new.
+  for (auto _ : state) {
+    mth::Fiber fiber([] {}, 64 * 1024);
+    fiber.resume();
+    benchmark::DoNotOptimize(fiber.finished());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberCreateDestroy);
 
 void BM_PingpongEndToEnd(benchmark::State& state) {
   // Whole-stack host cost: one 64 B pingpong iteration (two nodes, fine

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Record the host-throughput baseline for the simulator engine.
+#
+# Runs bench/micro_engine (google-benchmark) and writes its JSON report to
+# BENCH_engine.json at the repo root. Commit the refreshed file whenever the
+# engine hot path changes on purpose; CI and humans compare items_per_second
+# against it to catch accidental regressions.
+#
+# Usage: bench/record_baseline.sh [build-dir]   (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bin="$build_dir/bench/micro_engine"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found -- build first: cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+"$bin" \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo_root/BENCH_engine.json" >/dev/null
+
+echo "wrote $repo_root/BENCH_engine.json"

@@ -1,48 +1,67 @@
 #include "simcore/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace pm2::sim {
 
-EventHandle EventQueue::schedule(Time when, Callback cb) {
-  auto dead = std::make_shared<bool>(false);
-  heap_.push_back(Entry{when, seq_++, std::move(cb), dead});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_;
-  return EventHandle(std::move(dead));
+namespace {
+constexpr std::size_t kArity = 4;
 }
 
-bool EventQueue::cancel(EventHandle& h) {
-  if (!h.pending()) return false;
-  *h.state_ = true;
-  assert(live_ > 0);
-  --live_;
-  return true;
+void EventQueue::grow_slots() {
+  chunks_.push_back(std::make_unique<Slot[]>(kSlotChunk));
 }
 
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && *heap_.front().dead) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+void EventQueue::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
 }
 
-Time EventQueue::next_time() {
-  drop_dead();
-  return heap_.empty() ? kTimeInfinity : heap_.front().when;
+void EventQueue::sift_down(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(e, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
 }
 
-std::pair<Time, EventQueue::Callback> EventQueue::pop() {
-  drop_dead();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+void EventQueue::remove_top() {
+  heap_[0] = heap_.back();
   heap_.pop_back();
-  *e.dead = true;  // mark fired so handles see it as no-longer-pending
-  assert(live_ > 0);
-  --live_;
-  return {e.when, std::move(e.cb)};
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const HeapEntry& e) { return entry_dead(e); });
+  // Floyd heap construction: sift down every internal node, bottom up.
+  const std::size_t n = heap_.size();
+  if (n >= 2) {
+    for (std::size_t i = (n - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+  // The lane stays sorted under erasure, so it just shrinks in place.
+  lane_.erase(lane_.begin(),
+              lane_.begin() + static_cast<std::ptrdiff_t>(lane_head_));
+  lane_head_ = 0;
+  std::erase_if(lane_, [this](const HeapEntry& e) { return entry_dead(e); });
 }
 
 }  // namespace pm2::sim

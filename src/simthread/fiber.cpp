@@ -15,12 +15,16 @@ constexpr std::size_t kMinStack = 64 * 1024;
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
     : body_(std::move(body)),
-      stack_(stack_size < kMinStack ? kMinStack : stack_size) {}
+      stack_(StackPool::instance().acquire(
+          stack_size < kMinStack ? kMinStack : stack_size)) {}
 
 Fiber::~Fiber() {
   // Destroying a live suspended fiber leaks whatever its stack owned; the
   // scheduler keeps threads alive until the whole world is torn down, so
   // this only happens for programs abandoned mid-run (e.g. deadlock tests).
+  // The stack memory itself is recycled either way: once the fiber is gone
+  // it can never be resumed, so its frames are unreachable.
+  StackPool::instance().release(std::move(stack_));
 }
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
@@ -57,8 +61,8 @@ void Fiber::resume() {
       std::perror("getcontext");
       std::abort();
     }
-    ctx_.uc_stack.ss_sp = stack_.data();
-    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_stack.ss_sp = stack_.mem.get();
+    ctx_.uc_stack.ss_size = stack_.size;
     ctx_.uc_link = nullptr;
     const auto ptr = reinterpret_cast<std::uintptr_t>(this);
     makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,

@@ -1,0 +1,63 @@
+// pm2sim -- fiber stack recycling.
+//
+// Every simulated thread runs on a fiber with its own stack (256 KB by
+// default). Workloads that churn threads -- spawn/join loops, hybrid apps
+// with per-phase workers, benchmarks constructing a fresh world per
+// iteration -- would otherwise pay a large allocation plus first-touch page
+// faults per spawn. The pool keeps released stacks keyed by size class and
+// hands them back on the next acquire, so steady-state thread churn performs
+// no stack allocations at all.
+//
+// Not thread-safe: the simulator is strictly single-host-threaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace pm2::mth {
+
+class StackPool {
+ public:
+  /// An owned stack; returned to the pool via release().
+  struct Stack {
+    std::unique_ptr<std::uint8_t[]> mem;
+    std::size_t size = 0;
+
+    explicit operator bool() const { return mem != nullptr; }
+  };
+
+  /// The process-wide pool.
+  static StackPool& instance();
+
+  /// Get a stack of at least @p size bytes; the actual size is @p size
+  /// rounded up to the 64 KB size-class granule.
+  Stack acquire(std::size_t size);
+
+  /// Return a stack for reuse. Classes cache at most kMaxPooledPerClass
+  /// stacks; beyond that the memory is freed.
+  void release(Stack s);
+
+  /// Free every cached stack (tests / memory pressure).
+  void trim();
+
+  /// Acquires served from the cache vs. fresh allocations (diagnostics).
+  std::uint64_t reuses() const { return reuses_; }
+  std::uint64_t fresh_allocs() const { return fresh_allocs_; }
+
+  /// Bytes currently cached and idle in the pool.
+  std::size_t pooled_bytes() const { return pooled_bytes_; }
+
+  static constexpr std::size_t kGranule = 64 * 1024;
+  static constexpr std::size_t kMaxPooledPerClass = 64;
+
+ private:
+  std::map<std::size_t, std::vector<Stack>> classes_;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t fresh_allocs_ = 0;
+  std::size_t pooled_bytes_ = 0;
+};
+
+}  // namespace pm2::mth

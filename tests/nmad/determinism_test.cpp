@@ -1,0 +1,68 @@
+// Determinism guard: the engine hot-path optimizations (slab-pooled event
+// slots, monotone lane + 4-ary heap, lazy-cancel compaction, recycled fiber
+// stacks) must be invisible in virtual time. Running the same communication
+// workload twice in one process -- so the second run sees warm pools,
+// recycled slots and reused stacks -- has to execute the exact same number
+// of events and land on the exact same final clock.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+struct RunResult {
+  std::uint64_t events_executed;
+  sim::Time final_time;
+  std::vector<sim::Time> iteration_times;
+};
+
+RunResult run_pingpong() {
+  ClusterConfig cfg;
+  Cluster world(cfg);
+  RunResult r{};
+  const std::size_t kIters = 32;
+  world.spawn(0, [&world, &r] {
+    auto& c = world.core(0);
+    auto* g = world.gate(0, 1);
+    std::vector<std::uint8_t> m(256), b(256);
+    for (std::size_t i = 0; i < kIters; ++i) {
+      c.send(g, 1, m.data(), m.size());
+      c.recv(g, 2, b.data(), b.size());
+      r.iteration_times.push_back(world.engine().now());
+    }
+  });
+  world.spawn(1, [&world] {
+    auto& c = world.core(1);
+    auto* g = world.gate(1, 0);
+    std::vector<std::uint8_t> b(256);
+    for (std::size_t i = 0; i < kIters; ++i) {
+      c.recv(g, 1, b.data(), b.size());
+      c.send(g, 2, b.data(), b.size());
+    }
+  });
+  world.run();
+  r.events_executed = world.engine().events_executed();
+  r.final_time = world.engine().now();
+  return r;
+}
+
+TEST(Determinism, PingpongIsBitIdenticalAcrossRuns) {
+  const RunResult first = run_pingpong();
+  const RunResult second = run_pingpong();
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.final_time, second.final_time);
+  ASSERT_EQ(first.iteration_times.size(), second.iteration_times.size());
+  for (std::size_t i = 0; i < first.iteration_times.size(); ++i) {
+    EXPECT_EQ(first.iteration_times[i], second.iteration_times[i])
+        << "virtual time diverged at pingpong iteration " << i;
+  }
+  EXPECT_GT(first.events_executed, 0u);
+  EXPECT_GT(first.final_time, 0);
+}
+
+}  // namespace
+}  // namespace pm2::nm

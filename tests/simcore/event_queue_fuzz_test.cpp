@@ -3,7 +3,10 @@
 // cancellations and pops.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "simcore/event_queue.hpp"
 #include "simcore/random.hpp"
@@ -116,6 +119,62 @@ TEST_P(QueueFuzz, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueueFuzz,
                          ::testing::Values(11, 23, 37, 59, 71, 97));
+
+class CancelHeavyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CancelHeavyFuzz, AdversarialCancelChurn) {
+  // Cancel-dominated schedule designed to stress slot reuse and compaction:
+  // every handle ever issued is retained and randomly re-cancelled (most are
+  // stale by then, many with their slot already reused by a newer event),
+  // while pops interleave. Checks the reference model, the dead-entry bound
+  // and that stale handles never affect the slot's new occupant.
+  Rng rng(GetParam());
+  EventQueue q;
+  ReferenceQueue ref;
+  std::vector<std::pair<int, EventHandle>> all;  // every (id, handle) ever
+  Time clock = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    if (op <= 3) {
+      // Schedule; adversarial times hop between near and far future so
+      // entries split across the monotone lane and the heap.
+      const Time when = clock + (rng.uniform_int(0, 1) != 0
+                                     ? rng.uniform_int(0, 20)
+                                     : rng.uniform_int(500, 1000));
+      const int id = ref.schedule(when);
+      all.emplace_back(id, q.schedule(when, [] {}));
+    } else if (op <= 7) {
+      // Cancel any handle ever issued -- live, fired, cancelled or stale
+      // with a reused slot. Result must match the reference exactly.
+      if (!all.empty()) {
+        auto& [id, h] = all[rng.next_below(all.size())];
+        ASSERT_EQ(q.cancel(h), ref.cancel(id));
+        ASSERT_FALSE(h.pending());
+      }
+    } else if (!ref.empty()) {
+      auto [when, id] = ref.pop();
+      ASSERT_EQ(q.next_time(), when);
+      auto [qt, cb] = q.pop();
+      ASSERT_EQ(qt, when);
+      clock = when;
+    }
+    ASSERT_EQ(q.empty(), ref.empty());
+    ASSERT_LE(q.dead_entries(),
+              std::max(EventQueue::kCompactFloor, q.size()))
+        << "compaction bound violated at step " << step;
+  }
+  // Drain and cross-check the survivors' order.
+  while (!ref.empty()) {
+    auto [when, id] = ref.pop();
+    auto [qt, cb] = q.pop();
+    ASSERT_EQ(qt, when);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CancelHeavyFuzz,
+                         ::testing::Values(3, 13, 29, 43, 67, 89));
 
 }  // namespace
 }  // namespace pm2::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace pm2::sim {
@@ -93,6 +94,63 @@ TEST(EventQueue, PopSkipsCancelledEntries) {
   cb();
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuse) {
+  // After cancel, the slot goes back to the pool and the very next schedule
+  // reuses it. The old handle must stay stale: it names a (slot, sequence)
+  // pairing that no longer exists, even though the slot is occupied again.
+  EventQueue q;
+  auto h1 = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(h1));
+  EXPECT_EQ(q.free_slots(), 1u);
+  int fired = 0;
+  auto h2 = q.schedule(20, [&] { ++fired; });
+  EXPECT_EQ(q.free_slots(), 0u);  // the slot was reused...
+  EXPECT_FALSE(h1.pending());     // ...but the stale handle sees through it
+  EXPECT_FALSE(q.cancel(h1));
+  EXPECT_TRUE(h2.pending());
+  auto [t, cb] = q.pop();
+  EXPECT_EQ(t, 20);
+  cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StaleHandleAfterFireAndSlotReuse) {
+  EventQueue q;
+  auto h1 = q.schedule(10, [] {});
+  q.pop().second();
+  auto h2 = q.schedule(20, [] {});  // reuses h1's slot
+  EXPECT_FALSE(h1.pending());
+  EXPECT_FALSE(q.cancel(h1));
+  EXPECT_TRUE(q.cancel(h2));
+}
+
+TEST(EventQueue, DeadEntriesBoundedUnderCancelChurn) {
+  // Lazy cancellation must not retain unbounded tombstones: compaction
+  // keeps dead_entries() <= max(kCompactFloor, live) after every op.
+  EventQueue q;
+  auto bound_holds = [&q] {
+    return q.dead_entries() <= std::max(EventQueue::kCompactFloor, q.size());
+  };
+  std::vector<EventHandle> handles;
+  // Far-future blockers that never reach the front: dead entries behind
+  // them can only be reclaimed by compaction, not by front dropping.
+  for (int i = 0; i < 8; ++i) q.schedule(1'000'000, [] {});
+  for (int round = 0; round < 50; ++round) {
+    handles.clear();
+    for (int i = 0; i < 100; ++i) {
+      handles.push_back(q.schedule(1000 + round, [] {}));
+      ASSERT_TRUE(bound_holds());
+    }
+    for (auto& h : handles) {
+      q.cancel(h);
+      ASSERT_TRUE(bound_holds()) << "dead=" << q.dead_entries()
+                                 << " live=" << q.size();
+    }
+  }
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_LE(q.dead_entries(), EventQueue::kCompactFloor);
 }
 
 TEST(EventQueue, ManyInterleavedSchedulesAndCancels) {

@@ -1,0 +1,79 @@
+#include "simthread/stack_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "simthread/fiber.hpp"
+
+namespace pm2::mth {
+namespace {
+
+TEST(StackPool, RoundsUpToGranule) {
+  auto& pool = StackPool::instance();
+  auto s = pool.acquire(1);
+  EXPECT_EQ(s.size, StackPool::kGranule);
+  auto s2 = pool.acquire(StackPool::kGranule + 1);
+  EXPECT_EQ(s2.size, 2 * StackPool::kGranule);
+  pool.release(std::move(s));
+  pool.release(std::move(s2));
+}
+
+TEST(StackPool, ReleasedStackIsReused) {
+  auto& pool = StackPool::instance();
+  pool.trim();
+  auto s = pool.acquire(256 * 1024);
+  auto* mem = s.mem.get();
+  pool.release(std::move(s));
+  EXPECT_EQ(pool.pooled_bytes(), 256u * 1024u);
+  const auto reuses_before = pool.reuses();
+  auto s2 = pool.acquire(256 * 1024);
+  EXPECT_EQ(s2.mem.get(), mem) << "should hand back the cached stack";
+  EXPECT_EQ(pool.reuses(), reuses_before + 1);
+  EXPECT_EQ(pool.pooled_bytes(), 0u);
+  pool.release(std::move(s2));
+}
+
+TEST(StackPool, SizeClassesAreSeparate) {
+  auto& pool = StackPool::instance();
+  pool.trim();
+  auto small = pool.acquire(StackPool::kGranule);
+  pool.release(std::move(small));
+  const auto fresh_before = pool.fresh_allocs();
+  auto big = pool.acquire(4 * StackPool::kGranule);
+  EXPECT_EQ(pool.fresh_allocs(), fresh_before + 1)
+      << "a pooled small stack must not satisfy a bigger request";
+  pool.release(std::move(big));
+  pool.trim();
+}
+
+TEST(StackPool, TrimFreesCachedStacks) {
+  auto& pool = StackPool::instance();
+  auto s = pool.acquire(StackPool::kGranule);
+  pool.release(std::move(s));
+  EXPECT_GT(pool.pooled_bytes(), 0u);
+  pool.trim();
+  EXPECT_EQ(pool.pooled_bytes(), 0u);
+}
+
+TEST(StackPool, FiberChurnRecyclesStacks) {
+  auto& pool = StackPool::instance();
+  pool.trim();
+  {
+    Fiber warm([] {}, 256 * 1024);
+    warm.resume();
+  }
+  const auto fresh_before = pool.fresh_allocs();
+  const auto reuses_before = pool.reuses();
+  for (int i = 0; i < 100; ++i) {
+    Fiber f([] {}, 256 * 1024);
+    f.resume();
+    EXPECT_TRUE(f.finished());
+  }
+  EXPECT_EQ(pool.fresh_allocs(), fresh_before)
+      << "fiber churn should never allocate a fresh stack";
+  EXPECT_EQ(pool.reuses(), reuses_before + 100);
+}
+
+}  // namespace
+}  // namespace pm2::mth
