@@ -5,6 +5,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "simcore/stats.hpp"
 
 namespace pm2::bench {
@@ -209,11 +212,72 @@ BenchArgs parse_args(int argc, char** argv) {
       args.warmup = std::atoi(a + 9);
     } else if (std::strncmp(a, "--csv=", 6) == 0) {
       args.csv = a + 6;
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      args.metrics_out = a + 14;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", a);
     }
   }
   return args;
+}
+
+void write_metrics_report(const BenchArgs& args, const nm::ClusterConfig& cfg) {
+  if (args.metrics_out.empty()) return;
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(true);
+  {
+    nm::Cluster world(cfg);
+    world.enable_timeline();
+    obs::FlowTracer& flow = world.enable_flow_trace();
+    reg.reset_values();
+
+    constexpr std::size_t kSize = 64;
+    constexpr int kIters = 100;
+    const bool poll_threads = cfg.nm.progress == nm::ProgressMode::kPollThread;
+    if (poll_threads) {
+      world.core(0).start_poll_thread();
+      world.core(1).start_poll_thread();
+    }
+
+    world.spawn(0, [&world, poll_threads] {
+      nm::Core& c = world.core(0);
+      nm::Gate* g = world.gate(0, 1);
+      auto msg = make_pattern(kSize, 3);
+      std::vector<std::uint8_t> back(kSize);
+      for (int i = 0; i < kIters; ++i) {
+        nm::Request* rr = c.irecv(g, 2000, back.data(), back.size());
+        nm::Request* sr = c.isend(g, 1000, msg.data(), msg.size());
+        c.wait(rr);
+        c.wait(sr);
+        c.release(rr);
+        c.release(sr);
+      }
+      if (poll_threads) world.core(0).stop_poll_thread();
+    }, "ping", 0);
+
+    world.spawn(1, [&world, poll_threads] {
+      nm::Core& c = world.core(1);
+      nm::Gate* g = world.gate(1, 0);
+      std::vector<std::uint8_t> buf(kSize);
+      for (int i = 0; i < kIters; ++i) {
+        nm::Request* rr = c.irecv(g, 1000, buf.data(), buf.size());
+        c.wait(rr);
+        c.release(rr);
+        nm::Request* sr = c.isend(g, 2000, buf.data(), buf.size());
+        c.wait(sr);
+        c.release(sr);
+      }
+      if (poll_threads) world.core(1).stop_poll_thread();
+    }, "pong", 0);
+
+    world.run();
+    obs::write_report(args.metrics_out, reg, &flow);
+    world.write_timeline(args.metrics_out + ".trace.json");
+    std::printf("metrics report written: %s (timeline: %s.trace.json)\n",
+                args.metrics_out.c_str(), args.metrics_out.c_str());
+  }
+  reg.set_enabled(false);
 }
 
 }  // namespace pm2::bench

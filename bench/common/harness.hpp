@@ -57,12 +57,22 @@ void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
                const std::vector<Series>& series);
 
 /// Tiny argv parser shared by the figure benches: recognizes
-/// --iters=N, --warmup=N, --csv=PATH.
+/// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH.
 struct BenchArgs {
   int iters = 200;
   int warmup = 20;
   std::string csv;
+  /// When set, run one instrumented pingpong after the sweep and write a
+  /// metrics + flow-stage report (JSON) here, plus a Perfetto timeline with
+  /// send->recv flow arrows at <PATH>.trace.json.
+  std::string metrics_out;
 };
 BenchArgs parse_args(int argc, char** argv);
+
+/// Honour --metrics-out: enable the metrics registry, run a short pingpong
+/// on @p cfg with flow tracing and timeline recording, write the combined
+/// report, then disable the registry again so figure sweeps stay
+/// metrics-free. No-op when args.metrics_out is empty.
+void write_metrics_report(const BenchArgs& args, const nm::ClusterConfig& cfg);
 
 }  // namespace pm2::bench

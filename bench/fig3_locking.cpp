@@ -50,5 +50,12 @@ int main(int argc, char** argv) {
   std::printf("\npaper: coarse +140 ns, fine +230 ns, flat in size\n");
 
   bench::write_csv(args.csv, sizes, series);
+
+  // --metrics-out: instrumented run on the coarse-grain configuration.
+  nm::ClusterConfig mcfg;
+  mcfg.nm.lock = nm::LockMode::kCoarse;
+  mcfg.nm.wait = nm::WaitMode::kBusy;
+  mcfg.nm.progress = nm::ProgressMode::kAppDriven;
+  bench::write_metrics_report(args, mcfg);
   return 0;
 }

@@ -60,5 +60,8 @@ int main(int argc, char** argv) {
               "fine markedly better but above 1x\n");
 
   bench::write_csv(args.csv, sizes, series);
+
+  // --metrics-out: instrumented run on the fine-grain configuration.
+  bench::write_metrics_report(args, fine);
   return 0;
 }

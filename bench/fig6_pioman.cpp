@@ -54,5 +54,13 @@ int main(int argc, char** argv) {
               "locking)\n");
 
   bench::write_csv(args.csv, sizes, series);
+
+  // --metrics-out: instrumented run on the PIOMan (coarse) configuration.
+  nm::ClusterConfig mcfg;
+  mcfg.nm.lock = nm::LockMode::kCoarse;
+  mcfg.nm.wait = nm::WaitMode::kBusy;
+  mcfg.nm.progress = nm::ProgressMode::kPiomanHooks;
+  mcfg.pioman_poll_core = 0;
+  bench::write_metrics_report(args, mcfg);
   return 0;
 }

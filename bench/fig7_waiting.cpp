@@ -62,5 +62,14 @@ int main(int argc, char** argv) {
               "budget\n");
 
   bench::write_csv(args.csv, sizes, series);
+
+  // --metrics-out: instrumented run on the passive (coarse) configuration
+  // (context switches per round are the interesting number here).
+  nm::ClusterConfig mcfg;
+  mcfg.nm.lock = nm::LockMode::kCoarse;
+  mcfg.nm.wait = nm::WaitMode::kPassive;
+  mcfg.nm.progress = nm::ProgressMode::kPiomanHooks;
+  mcfg.pioman_poll_core = 0;
+  bench::write_metrics_report(args, mcfg);
   return 0;
 }

@@ -95,5 +95,14 @@ int main(int argc, char** argv) {
     std::printf("\npaper (dual quad): shared cache +400 ns, same chip "
                 "+2.3 us, other chip +3.1 us\n");
   }
+
+  // --metrics-out: instrumented run with a dedicated poll thread on the
+  // shared-cache neighbour (the quad-core "cpu 1" series).
+  nm::ClusterConfig mcfg;
+  mcfg.nm.lock = nm::LockMode::kFine;
+  mcfg.nm.wait = nm::WaitMode::kBusy;
+  mcfg.nm.progress = nm::ProgressMode::kPollThread;
+  mcfg.nm.poll_core = 1;
+  bench::write_metrics_report(args, mcfg);
   return 0;
 }

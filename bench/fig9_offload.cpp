@@ -59,5 +59,13 @@ int main(int argc, char** argv) {
   std::printf("\npaper: tasklets +2 us, idle-core offload +400 ns\n");
 
   bench::write_csv(args.csv, sizes, series);
+
+  // --metrics-out: instrumented run on the tasklet-offload configuration.
+  nm::ClusterConfig mcfg;
+  mcfg.nm.lock = nm::LockMode::kFine;
+  mcfg.nm.wait = nm::WaitMode::kBusy;
+  mcfg.nm.progress = nm::ProgressMode::kTaskletOffload;
+  mcfg.nm.poll_core = 1;
+  bench::write_metrics_report(args, mcfg);
   return 0;
 }

@@ -1,0 +1,99 @@
+// Guard: the metrics registry's hot-path cost stays negligible.
+//
+// Runs the BM_PingpongEndToEnd workload with the registry alternately
+// disabled and enabled, compares the best-of-N host times, and fails when
+// the enabled runs are more than 3% slower. Alternating the order and
+// taking the minimum makes the comparison robust against host-side noise
+// (frequency scaling, cache warm-up, other processes).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+#include "obs/metrics.hpp"
+
+using namespace pm2;
+
+namespace {
+
+constexpr std::size_t kPingpongIters = 192;
+constexpr int kReps = 16;
+constexpr double kMaxRatio = 1.03;
+
+/// One full pingpong world: the BM_PingpongEndToEnd body.
+void run_workload() {
+  nm::ClusterConfig cfg;
+  nm::Cluster world(cfg);
+  world.spawn(0, [&world] {
+    auto& c = world.core(0);
+    auto* g = world.gate(0, 1);
+    std::vector<std::uint8_t> m(64), b(64);
+    for (std::size_t i = 0; i < kPingpongIters; ++i) {
+      c.send(g, 1, m.data(), m.size());
+      c.recv(g, 2, b.data(), b.size());
+    }
+  });
+  world.spawn(1, [&world] {
+    auto& c = world.core(1);
+    auto* g = world.gate(1, 0);
+    std::vector<std::uint8_t> b(64);
+    for (std::size_t i = 0; i < kPingpongIters; ++i) {
+      c.recv(g, 1, b.data(), b.size());
+      c.send(g, 2, b.data(), b.size());
+    }
+  });
+  world.run();
+}
+
+double timed_run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  run_workload();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  auto& reg = obs::MetricsRegistry::global();
+
+  // Warm up both variants (stack pools, allocator, instruction cache).
+  for (int w = 0; w < 2; ++w) {
+    reg.set_enabled(false);
+    run_workload();
+    reg.set_enabled(true);
+    run_workload();
+  }
+
+  double best_off = 1e30;
+  double best_on = 1e30;
+  for (int r = 0; r < kReps; ++r) {
+    // Alternate the order within each rep so drift hits both variants.
+    if (r % 2 == 0) {
+      reg.set_enabled(false);
+      best_off = std::min(best_off, timed_run());
+      reg.set_enabled(true);
+      best_on = std::min(best_on, timed_run());
+    } else {
+      reg.set_enabled(true);
+      best_on = std::min(best_on, timed_run());
+      reg.set_enabled(false);
+      best_off = std::min(best_off, timed_run());
+    }
+  }
+  reg.set_enabled(false);
+
+  const double ratio = best_on / best_off;
+  std::printf("metrics off: %.3f ms   metrics on: %.3f ms   ratio: %.4f "
+              "(limit %.2f)\n",
+              best_off * 1e3, best_on * 1e3, ratio, kMaxRatio);
+  if (ratio > kMaxRatio) {
+    std::fprintf(stderr, "FAIL: metrics hot-path overhead above %.0f%%\n",
+                 (kMaxRatio - 1.0) * 100.0);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nmad/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "simcore/engine.hpp"
 #include "simthread/fiber.hpp"
 
@@ -153,6 +154,41 @@ void BM_PingpongEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kIters);
 }
 BENCHMARK(BM_PingpongEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_PingpongEndToEndMetrics(benchmark::State& state) {
+  // Same workload as BM_PingpongEndToEnd with the metrics registry enabled:
+  // the spread between the two is the hot-path cost of instrumentation
+  // (ctest `metrics_overhead` asserts it stays under 3%).
+  const std::size_t kIters = 64;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(true);
+  for (auto _ : state) {
+    nm::ClusterConfig cfg;
+    nm::Cluster world(cfg);
+    world.spawn(0, [&world] {
+      auto& c = world.core(0);
+      auto* g = world.gate(0, 1);
+      std::vector<std::uint8_t> m(64), b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.send(g, 1, m.data(), m.size());
+        c.recv(g, 2, b.data(), b.size());
+      }
+    });
+    world.spawn(1, [&world] {
+      auto& c = world.core(1);
+      auto* g = world.gate(1, 0);
+      std::vector<std::uint8_t> b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.recv(g, 1, b.data(), b.size());
+        c.send(g, 2, b.data(), b.size());
+      }
+    });
+    world.run();
+  }
+  reg.set_enabled(false);
+  state.SetItemsProcessed(state.iterations() * kIters);
+}
+BENCHMARK(BM_PingpongEndToEndMetrics)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

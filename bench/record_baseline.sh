@@ -26,3 +26,22 @@ fi
   --benchmark_out="$repo_root/BENCH_engine.json" >/dev/null
 
 echo "wrote $repo_root/BENCH_engine.json"
+
+# The baseline includes BM_PingpongEndToEnd both with the metrics registry
+# off and on (BM_PingpongEndToEndMetrics); print the median pair so the
+# instrumentation overhead is visible at record time. The hard <3% gate is
+# the `metrics_overhead` ctest.
+awk '
+  /"name": "BM_PingpongEndToEnd(Metrics)?_median"/ { want = 1; name = $2 }
+  want && /"real_time":/ {
+    gsub(/[",]/, "", name); gsub(/,/, "", $2)
+    printf "  %-34s %.3f ms\n", name, $2
+    want = 0
+  }
+' "$repo_root/BENCH_engine.json"
+
+overhead_bin="$build_dir/bench/metrics_overhead"
+if [ -x "$overhead_bin" ]; then
+  echo "checking metrics hot-path overhead (<3%):"
+  "$overhead_bin"
+fi

@@ -67,8 +67,21 @@ sim::ChromeTrace& Cluster::enable_timeline() {
             timeline_.get(), n, tid);
       }
     }
+    if (flow_) flow_->set_trace(timeline_.get());
   }
   return *timeline_;
+}
+
+obs::FlowTracer& Cluster::enable_flow_trace() {
+  if (!flow_) {
+    flow_ = std::make_unique<obs::FlowTracer>();
+    if (timeline_) flow_->set_trace(timeline_.get());
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      nodes_[static_cast<std::size_t>(n)]->core->set_flow_tracer(flow_.get(),
+                                                                 n);
+    }
+  }
+  return *flow_;
 }
 
 void Cluster::write_timeline(const std::string& path) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nmad/core.hpp"
+#include "obs/flow.hpp"
 #include "pioman/server.hpp"
 #include "simcore/chrome_trace.hpp"
 #include "pioman/tasklet.hpp"
@@ -76,6 +77,13 @@ class Cluster {
 
   sim::ChromeTrace* timeline() { return timeline_.get(); }
 
+  /// Start flow-tracing every message's lifecycle across the cluster.
+  /// If the timeline is (or later becomes) enabled, flow events are also
+  /// recorded there so Perfetto draws send -> recv arrows.
+  obs::FlowTracer& enable_flow_trace();
+
+  obs::FlowTracer* flow_trace() { return flow_.get(); }
+
  private:
   struct Node {
     std::unique_ptr<mach::Machine> machine;
@@ -91,6 +99,7 @@ class Cluster {
   std::vector<std::unique_ptr<net::Fabric>> fabrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<sim::ChromeTrace> timeline_;
+  std::unique_ptr<obs::FlowTracer> flow_;
 };
 
 }  // namespace pm2::nm

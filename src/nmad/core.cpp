@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/flow.hpp"
 #include "simcore/trace.hpp"
 
 namespace pm2::nm {
@@ -17,6 +18,12 @@ sim::Time copy_cost(double ns_per_byte, std::size_t bytes) {
   return static_cast<sim::Time>(
       std::llround(ns_per_byte * static_cast<double>(bytes)));
 }
+
+/// Core index for flow-event placement; engine context maps to core 0.
+int current_core() {
+  auto* ctx = mth::ExecContext::current_or_null();
+  return ctx != nullptr ? ctx->core() : 0;
+}
 }  // namespace
 
 Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
@@ -25,6 +32,15 @@ Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
       name_(std::move(name)),
       locks_(sched, cfg.lock, kMaxRails),
       strategy_(Strategy::make(cfg.strategy)) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& node = sched_.machine().name();
+  stats_.sends = reg.counter({"nmad", node, -1, "sends"});
+  stats_.recvs = reg.counter({"nmad", node, -1, "recvs"});
+  stats_.packets_rx = reg.counter({"nmad", node, -1, "packets_rx"});
+  stats_.chunks_rx = reg.counter({"nmad", node, -1, "chunks_rx"});
+  stats_.unexpected_chunks = reg.counter({"nmad", node, -1, "unexpected_chunks"});
+  stats_.rdv_handshakes = reg.counter({"nmad", node, -1, "rdv_handshakes"});
+  stats_.progress_passes = reg.counter({"nmad", node, -1, "progress_passes"});
   src_to_gate_.resize(kMaxRails);
   submit_tasklet_ = std::make_unique<piom::Tasklet>(
       [this](mth::HookContext& hctx) {
@@ -113,8 +129,31 @@ Request* Core::alloc_request() {
   req->total_len_ = 0;
   req->total_known_ = false;
   req->filled_ = 0;
+  req->flow_id_ = 0;
   req->released_ = false;
   return req;
+}
+
+void Core::set_flow_tracer(obs::FlowTracer* tracer, int node_id) {
+  flow_ = tracer;
+  node_id_ = node_id;
+  for (auto& d : drivers_) {
+    if (tracer == nullptr) {
+      d->set_post_observer(nullptr);
+      continue;
+    }
+    d->set_post_observer([this](const StagedPacket& pkt) {
+      if (flow_ == nullptr) return;
+      const sim::Time now = engine().now();
+      const int core = current_core();
+      for (Request* r : pkt.accounted) {
+        if (r->flow_id_ != 0) {
+          flow_->stamp(r->flow_id_, obs::FlowStage::kNicPost, now, node_id_,
+                       core);
+        }
+      }
+    });
+  }
 }
 
 void Core::release(Request* req) {
@@ -129,14 +168,24 @@ void Core::release(Request* req) {
 
 void Core::complete_request(Request* req) {
   assert(!req->completed());
+  if (flow_ != nullptr && req->kind_ == ReqKind::kRecv &&
+      req->flow_id_ != 0) {
+    flow_->stamp(req->flow_id_, obs::FlowStage::kComplete, engine().now(),
+                 node_id_, current_core());
+  }
   req->flag_.set();
   --active_reqs_;
 }
 
 void Core::on_chunks_wire_done(const std::vector<Request*>& reqs) {
+  const sim::Time now = flow_ != nullptr ? engine().now() : 0;
   for (Request* req : reqs) {
     assert(req->inflight_chunks_ > 0);
     --req->inflight_chunks_;
+    if (flow_ != nullptr && req->flow_id_ != 0) {
+      flow_->stamp(req->flow_id_, obs::FlowStage::kWireDone, now, node_id_,
+                   current_core());
+    }
     if (req->fully_submitted_ && req->inflight_chunks_ == 0 &&
         !req->completed()) {
       complete_request(req);
@@ -162,7 +211,7 @@ Request* Core::isend(Gate* gate, Tag tag, const void* data, std::size_t len) {
   req->total_len_ = len;
   req->total_known_ = true;
   ++active_reqs_;
-  ++stats_.sends;
+  stats_.sends.add_always();
 
   const bool rdv = len > cfg_.rdv_threshold;
   if (rdv) send_by_cookie_[req->id_] = req;
@@ -180,6 +229,12 @@ Request* Core::isend(Gate* gate, Tag tag, const void* data, std::size_t len) {
   ctx.touch(gate->out_line_);
   req->msg_seq_ = gate->next_send_seq_++;
   req->seq_bound_ = true;
+  if (flow_ != nullptr) {
+    req->flow_id_ =
+        obs::FlowTracer::flow_id(node_id_, gate->peer_node(), req->msg_seq_);
+    flow_->stamp(req->flow_id_, obs::FlowStage::kPost, engine().now(),
+                 node_id_, ctx.core());
+  }
   PackWrapper pw;
   pw.req = req;
   pw.tag = tag;
@@ -257,7 +312,7 @@ Request* Core::irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
   req->recv_buf_ = static_cast<std::uint8_t*>(buf);
   req->capacity_ = capacity;
   ++active_reqs_;
-  ++stats_.recvs;
+  stats_.recvs.add_always();
 
   bool adopted_rdv = false;
   locks_.lock(Domain::kMatching);
@@ -293,12 +348,20 @@ Request* Core::irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
       cts.cookie = um.rts_cookie;
       deferred_pws_.emplace_back(gate, cts);
       adopted_rdv = true;
-      ++stats_.rdv_handshakes;
+      stats_.rdv_handshakes.add_always();
     } else {
       // Copy from the internal unexpected buffer into the user buffer.
       if (um.filled > 0) {
         std::memcpy(req->recv_buf_, um.data.data(), um.filled);
         ctx.charge(copy_cost(rail(0).nic().params().rx_copy_per_byte, um.filled));
+      }
+      if (flow_ != nullptr) {
+        // The bytes reach the user buffer here, not at chunk arrival: the
+        // unexpected dwell is part of the unpack segment by design.
+        req->flow_id_ = obs::FlowTracer::flow_id(gate->peer_node(), node_id_,
+                                                 req->msg_seq_);
+        flow_->stamp(req->flow_id_, obs::FlowStage::kDeliver, engine().now(),
+                     node_id_, ctx.core());
       }
       req->filled_ = um.filled;
       if (req->filled_ == req->total_len_) {
@@ -461,7 +524,7 @@ std::size_t Core::recv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
 // --------------------------------------------------------------------------
 
 bool Core::progress(mth::ExecContext& ctx) {
-  ++stats_.progress_passes;
+  stats_.progress_passes.add_always();
   locks_.lock_library();
   bool any = flush_deferred(false);
   any |= submit_step(ctx, false);
@@ -476,7 +539,7 @@ bool Core::progress(mth::ExecContext& ctx) {
 }
 
 bool Core::progress_try(mth::ExecContext& ctx, bool submission_only) {
-  ++stats_.progress_passes;
+  stats_.progress_passes.add_always();
   if (!locks_.try_lock_library()) return false;
   bool any = flush_deferred(true);
   any |= submit_step(ctx, true);
@@ -599,6 +662,18 @@ bool Core::submit_step(mth::ExecContext& ctx, bool use_try) {
 bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
                          bool use_try) {
   bool posted = false;
+  if (flow_ != nullptr && !staged.empty()) {
+    const sim::Time now = engine().now();
+    const int core = current_core();
+    for (const auto& a : staged) {
+      for (Request* r : a.pkt.accounted) {
+        if (r->flow_id_ != 0) {
+          flow_->stamp(r->flow_id_, obs::FlowStage::kArrange, now, node_id_,
+                       core);
+        }
+      }
+    }
+  }
   auto completer = [this](std::vector<Request*> reqs) {
     on_chunks_wire_done(reqs);
   };
@@ -697,7 +772,7 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
 
 void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
                                  const net::Packet& pkt) {
-  ++stats_.packets_rx;
+  stats_.packets_rx.add_always();
   Gate* gate = gate_of_src(rail, pkt.src_port);
   if (gate == nullptr) {
     PM2_TRACE("nmad", kWarn, "%s: packet from unknown port %d dropped",
@@ -707,7 +782,7 @@ void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
   PacketReader reader(pkt.payload);
   const std::uint8_t* data = nullptr;
   while (auto h = reader.next(&data)) {
-    ++stats_.chunks_rx;
+    stats_.chunks_rx.add_always();
     handle_chunk_locked(ctx, rail, *gate, *h, data);
   }
   if (!reader.ok()) {
@@ -726,7 +801,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
       Request* req = it->second;
       assert(!req->rdv_granted_);
       req->rdv_granted_ = true;
-      ++stats_.rdv_handshakes;
+      stats_.rdv_handshakes.add_always();
       PackWrapper pw;
       pw.kind = PackWrapper::Kind::kRdvData;
       pw.req = req;
@@ -767,7 +842,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         cts.cookie = h.cookie;
         deferred_pws_.emplace_back(&gate, cts);
         resubmit_hint_ = true;
-        ++stats_.rdv_handshakes;
+        stats_.rdv_handshakes.add_always();
       } else {
         UnexpectedMsg um;
         um.tag = h.tag;
@@ -776,7 +851,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         um.is_rdv = true;
         um.rts_cookie = h.cookie;
         gate.unexpected_.push_back(std::move(um));
-        ++stats_.unexpected_chunks;
+        stats_.unexpected_chunks.add_always();
       }
       return;
     }
@@ -833,7 +908,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
             h.chunk_len));
       }
       um->filled += h.chunk_len;
-      ++stats_.unexpected_chunks;
+      stats_.unexpected_chunks.add_always();
       return;
     }
   }
@@ -843,6 +918,12 @@ void Core::deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
                                 Request* req, const ChunkHeader& h,
                                 const std::uint8_t* data) {
   assert(req->seq_bound_ && req->msg_seq_ == h.msg_seq);
+  if (flow_ != nullptr) {
+    req->flow_id_ =
+        obs::FlowTracer::flow_id(gate.peer_node(), node_id_, h.msg_seq);
+    flow_->stamp(req->flow_id_, obs::FlowStage::kDeliver, engine().now(),
+                 node_id_, ctx.core());
+  }
   if (h.chunk_len > 0) {
     assert(h.offset + h.chunk_len <= req->capacity_);
     std::memcpy(req->recv_buf_ + h.offset, data, h.chunk_len);

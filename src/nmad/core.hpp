@@ -28,6 +28,7 @@
 
 #include "nmad/driver.hpp"
 #include "nmad/gate.hpp"
+#include "obs/metrics.hpp"
 #include "nmad/locking.hpp"
 #include "nmad/request.hpp"
 #include "nmad/strategy.hpp"
@@ -37,6 +38,10 @@
 #include "pioman/tasklet.hpp"
 #include "simnet/nic.hpp"
 #include "simthread/scheduler.hpp"
+
+namespace pm2::obs {
+class FlowTracer;
+}
 
 namespace pm2::nm {
 
@@ -123,16 +128,26 @@ class Core final : public piom::PollSource {
   mth::Thread* start_poll_thread();
   void stop_poll_thread();
 
+  // --- observability ---------------------------------------------------------
+
+  /// Attach a flow tracer: every request is stamped with a flow id and its
+  /// lifecycle stages are recorded (see obs::FlowStage). @p node_id labels
+  /// this core's side of each flow; nullptr detaches.
+  void set_flow_tracer(obs::FlowTracer* tracer, int node_id);
+
   // --- statistics ----------------------------------------------------------------
 
+  /// Thin view over registry counters, labeled (nmad, <machine>). Fields
+  /// convert implicitly to std::uint64_t so legacy reads keep compiling;
+  /// new code should prefer MetricsRegistry::counter_value lookups.
   struct Stats {
-    std::uint64_t sends = 0;
-    std::uint64_t recvs = 0;
-    std::uint64_t packets_rx = 0;
-    std::uint64_t chunks_rx = 0;
-    std::uint64_t unexpected_chunks = 0;
-    std::uint64_t rdv_handshakes = 0;
-    std::uint64_t progress_passes = 0;
+    obs::Counter sends;
+    obs::Counter recvs;
+    obs::Counter packets_rx;
+    obs::Counter chunks_rx;
+    obs::Counter unexpected_chunks;
+    obs::Counter rdv_handshakes;
+    obs::Counter progress_passes;
   };
   const Stats& stats() const { return stats_; }
 
@@ -192,6 +207,8 @@ class Core final : public piom::PollSource {
   mth::Thread* poll_thread_ = nullptr;
 
   Stats stats_;
+  obs::FlowTracer* flow_ = nullptr;
+  int node_id_ = -1;  ///< flow-trace label for this core's side
 };
 
 }  // namespace pm2::nm

@@ -10,6 +10,7 @@ int Driver::drain(
   while (!pending_.empty() && nic_.tx_idle() && nic_.tx_ready()) {
     StagedPacket pkt = std::move(pending_.front());
     pending_.pop_front();
+    if (post_observer_) post_observer_(pkt);
     auto accounted = std::move(pkt.accounted);
     const bool pio = pkt.payload.size() <= nic_.params().pio_threshold;
     if (pio) {

@@ -61,12 +61,19 @@ class Driver {
   /// Returns the number of packets posted.
   int drain(const std::function<void(std::vector<Request*>)>& complete_chunks);
 
+  /// Observer invoked for each packet as it is handed to the NIC (before
+  /// the post). Observability only -- must not mutate the packet.
+  void set_post_observer(std::function<void(const StagedPacket&)> fn) {
+    post_observer_ = std::move(fn);
+  }
+
   std::uint64_t packets_posted() const { return packets_posted_; }
 
  private:
   net::Nic& nic_;
   int index_;
   std::deque<StagedPacket> pending_;
+  std::function<void(const StagedPacket&)> post_observer_;
   std::uint64_t packets_posted_ = 0;
 };
 

@@ -46,6 +46,10 @@ class Request {
   /// The waitable completion flag (priced access).
   sync::CompletionFlag& flag() { return flag_; }
 
+  /// Flow-trace id (nonzero only while a FlowTracer is attached to the
+  /// core); shared by the send and recv requests of one message.
+  std::uint64_t flow_id() const { return flow_id_; }
+
  private:
   friend class Core;
   friend class Strategy;  // submission accounting (inflight chunks)
@@ -75,6 +79,8 @@ class Request {
   std::size_t total_len_ = 0;
   bool total_known_ = false;
   std::size_t filled_ = 0;  ///< send: bytes submitted; recv: bytes landed
+
+  std::uint64_t flow_id_ = 0;  ///< observability only; never drives protocol
 
   bool released_ = false;  ///< on the core's free list
 };

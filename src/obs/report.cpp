@@ -1,0 +1,39 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/flow.hpp"
+#include "obs/metrics.hpp"
+
+namespace pm2::obs {
+
+namespace {
+/// Strip one trailing newline so the fragment nests cleanly.
+std::string chomp(std::string s) {
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+}  // namespace
+
+std::string report_json(const MetricsRegistry& registry,
+                        const FlowTracer* flow) {
+  std::string out = "{\"schema\":\"pm2sim-report-v1\",\"metrics\":";
+  out += chomp(registry.to_json());
+  if (flow != nullptr) {
+    out += ",\"flow\":";
+    out += chomp(flow->to_json());
+  }
+  out += "}\n";
+  return out;
+}
+
+void write_report(const std::string& path, const MetricsRegistry& registry,
+                  const FlowTracer* flow) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("obs: cannot open " + path);
+  f << report_json(registry, flow);
+  if (!f) throw std::runtime_error("obs: write failed: " + path);
+}
+
+}  // namespace pm2::obs

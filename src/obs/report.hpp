@@ -1,0 +1,24 @@
+// pm2sim -- combined per-run observability report.
+//
+// One JSON document bundling the metrics registry dump with (optionally)
+// the flow tracer's per-stage latency breakdown; this is what the figure
+// benches write for --metrics-out=FILE.
+#pragma once
+
+#include <string>
+
+namespace pm2::obs {
+
+class MetricsRegistry;
+class FlowTracer;
+
+/// {"schema":"pm2sim-report-v1","metrics":{...},"flow":{...}}; the "flow"
+/// member is omitted when @p flow is null.
+std::string report_json(const MetricsRegistry& registry,
+                        const FlowTracer* flow);
+
+/// Write report_json() to @p path; throws on I/O failure.
+void write_report(const std::string& path, const MetricsRegistry& registry,
+                  const FlowTracer* flow);
+
+}  // namespace pm2::obs

@@ -10,7 +10,13 @@ namespace pm2::piom {
 PollSource::~PollSource() = default;
 
 Server::Server(mth::Scheduler& sched)
-    : sched_(sched), list_lock_(sched, "pioman-list") {}
+    : sched_(sched), list_lock_(sched, "pioman-list") {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& node = sched_.machine().name();
+  m_passes_ = reg.counter({"pioman", node, -1, "poll_passes"});
+  m_skipped_passes_ = reg.counter({"pioman", node, -1, "skipped_passes"});
+  m_poll_interval_ns_ = reg.histogram({"pioman", node, -1, "poll_interval_ns"});
+}
 
 Server::~Server() { remove_hooks(); }
 
@@ -36,12 +42,22 @@ bool Server::has_pending(int core) const {
 
 bool Server::poll_once(mth::ExecContext& ctx) {
   ++passes_;
+  m_passes_.inc();
+  if (obs::MetricsRegistry::global().enabled()) {
+    const sim::Time now = sched_.engine().now();
+    if (last_pass_at_ >= 0 && now > last_pass_at_) {
+      m_poll_interval_ns_.observe(
+          static_cast<std::uint64_t>(now - last_pass_at_));
+    }
+    last_pass_at_ = now;
+  }
   // Internal request-list management (Fig. 6's overhead).
   ctx.charge(sched_.costs().pioman_pass);
   // The server's lists are protected by a lock that hook/tasklet contexts
   // may only try: skipping a pass is always safe (someone else is polling).
   if (!list_lock_.try_lock()) {
     ++skipped_passes_;
+    m_skipped_passes_.inc();
     return false;
   }
   bool progressed = false;

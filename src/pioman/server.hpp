@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simthread/scheduler.hpp"
 #include "sync/spinlock.hpp"
 
@@ -84,6 +85,11 @@ class Server {
   int timer_hook_id_ = -1;
   std::uint64_t passes_ = 0;
   std::uint64_t skipped_passes_ = 0;
+  // Registry instruments, labeled (pioman, <machine>).
+  obs::Counter m_passes_;
+  obs::Counter m_skipped_passes_;
+  obs::HistogramMetric m_poll_interval_ns_;
+  sim::Time last_pass_at_ = -1;  ///< registry-only poll-interval tracking
 };
 
 }  // namespace pm2::piom

@@ -8,6 +8,8 @@
 namespace pm2::piom {
 
 TaskletEngine::TaskletEngine(mth::Scheduler& sched) : sched_(sched) {
+  m_executed_ = obs::MetricsRegistry::global().counter(
+      {"pioman", sched.machine().name(), -1, "tasklet_runs"});
   queues_.resize(static_cast<std::size_t>(sched.num_cores()));
   auto run = [this](mth::HookContext& hctx) { drain(hctx); };
   auto want = [this](int core) { return pending(core); };
@@ -44,6 +46,7 @@ void TaskletEngine::drain(mth::HookContext& ctx) {
     t->scheduled_ = false;
     ++t->runs_;
     ++executed_;
+    m_executed_.inc();
     PM2_TRACE("tasklet", kDebug, "run '%s' on core %d", t->name().c_str(),
               ctx.core());
     t->fn_(ctx);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simthread/scheduler.hpp"
 
 namespace pm2::piom {
@@ -75,6 +76,7 @@ class TaskletEngine {
   int idle_hook_id_ = -1;
   int timer_hook_id_ = -1;
   std::uint64_t executed_ = 0;
+  obs::Counter m_executed_;  ///< (pioman, <machine>, tasklet_runs)
 };
 
 }  // namespace pm2::piom

@@ -13,6 +13,10 @@ void append_escaped(std::string& out, const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -44,6 +48,24 @@ void ChromeTrace::instant_event(const std::string& name,
 void ChromeTrace::counter_event(const std::string& name, int pid, Time t,
                                 double value) {
   events_.push_back(Event{'C', name, "counter", pid, 0, t, 0, value, {}});
+}
+
+void ChromeTrace::flow_begin(const std::string& name,
+                             const std::string& category, int pid, int tid,
+                             Time t, std::uint64_t id) {
+  events_.push_back(Event{'s', name, category, pid, tid, t, 0, 0, {}, id});
+}
+
+void ChromeTrace::flow_step(const std::string& name,
+                            const std::string& category, int pid, int tid,
+                            Time t, std::uint64_t id) {
+  events_.push_back(Event{'t', name, category, pid, tid, t, 0, 0, {}, id});
+}
+
+void ChromeTrace::flow_end(const std::string& name,
+                           const std::string& category, int pid, int tid,
+                           Time t, std::uint64_t id) {
+  events_.push_back(Event{'f', name, category, pid, tid, t, 0, 0, {}, id});
 }
 
 void ChromeTrace::set_process_name(int pid, const std::string& name) {
@@ -85,6 +107,13 @@ std::string ChromeTrace::to_json() const {
         out += buf;
       }
       if (e.phase == 'i') out += ",\"s\":\"t\"";
+      if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        std::snprintf(buf, sizeof(buf), ",\"id\":%llu",
+                      static_cast<unsigned long long>(e.flow_id));
+        out += buf;
+        // Bind the arrow end to the enclosing slice, not the next one.
+        if (e.phase == 'f') out += ",\"bp\":\"e\"";
+      }
     }
     std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d}", e.pid, e.tid);
     out += buf;

@@ -27,6 +27,17 @@ class ChromeTrace {
   /// Counter sample (renders as a chart track).
   void counter_event(const std::string& name, int pid, Time t, double value);
 
+  /// Flow events (ph "s" / "t" / "f"): one arrow per @p id, drawn by
+  /// Perfetto from the enclosing slice at flow_begin to the slices at each
+  /// flow_step and flow_end -- across processes, which is how send -> recv
+  /// arrows cross node tracks. Timestamps must be non-decreasing per id.
+  void flow_begin(const std::string& name, const std::string& category,
+                  int pid, int tid, Time t, std::uint64_t id);
+  void flow_step(const std::string& name, const std::string& category,
+                 int pid, int tid, Time t, std::uint64_t id);
+  void flow_end(const std::string& name, const std::string& category,
+                int pid, int tid, Time t, std::uint64_t id);
+
   /// Metadata: display names for processes (nodes) and threads (cores).
   void set_process_name(int pid, const std::string& name);
   void set_thread_name(int pid, int tid, const std::string& name);
@@ -41,7 +52,8 @@ class ChromeTrace {
 
  private:
   struct Event {
-    char phase;  // 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+    char phase;  // 'X' complete, 'i' instant, 'C' counter, 'M' metadata,
+                 // 's'/'t'/'f' flow start/step/end
     std::string name;
     std::string category;
     int pid = 0;
@@ -50,6 +62,7 @@ class ChromeTrace {
     Time dur = 0;
     double value = 0;
     std::string meta_kind;  // for 'M': "process_name" / "thread_name"
+    std::uint64_t flow_id = 0;  // for 's'/'t'/'f'
   };
   std::vector<Event> events_;
 };

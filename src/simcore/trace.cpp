@@ -1,5 +1,6 @@
 #include "simcore/trace.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,11 +25,17 @@ TraceState& state() {
 }
 
 bool parse_level(const std::string& word, TraceLevel* out) {
-  if (word == "off") *out = TraceLevel::kOff;
-  else if (word == "error") *out = TraceLevel::kError;
-  else if (word == "warn") *out = TraceLevel::kWarn;
-  else if (word == "info") *out = TraceLevel::kInfo;
-  else if (word == "debug") *out = TraceLevel::kDebug;
+  std::string lower;
+  lower.reserve(word.size());
+  for (char c : word) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "off") *out = TraceLevel::kOff;
+  else if (lower == "error") *out = TraceLevel::kError;
+  else if (lower == "warn") *out = TraceLevel::kWarn;
+  else if (lower == "info") *out = TraceLevel::kInfo;
+  else if (lower == "debug") *out = TraceLevel::kDebug;
   else return false;
   return true;
 }
@@ -52,23 +59,36 @@ void Trace::set_level(const std::string& component, TraceLevel level) {
 }
 
 bool Trace::configure(const std::string& spec) {
+  if (spec.empty()) return true;
+  // Parse into a staging copy and commit only if the whole spec is valid:
+  // a malformed tail must not leave half the spec silently applied.
+  TraceLevel default_level = state().default_level;
+  std::map<std::string, TraceLevel> per_component = state().per_component;
   size_t pos = 0;
-  while (pos < spec.size()) {
+  while (pos <= spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
     std::string item = spec.substr(pos, comma - pos);
     pos = comma + 1;
-    if (item.empty()) continue;
+    // Empty segments ("info," / ",,debug") are malformed: a trailing comma
+    // usually means a truncated spec, and succeeding here would differ
+    // silently from what the user meant.
+    if (item.empty()) return false;
     size_t eq = item.find('=');
     TraceLevel level;
     if (eq == std::string::npos) {
       if (!parse_level(item, &level)) return false;
-      state().default_level = level;
+      default_level = level;
     } else {
+      std::string component = item.substr(0, eq);
+      if (component.empty()) return false;
       if (!parse_level(item.substr(eq + 1), &level)) return false;
-      state().per_component[item.substr(0, eq)] = level;
+      per_component[std::move(component)] = level;
     }
+    if (comma == spec.size()) break;
   }
+  state().default_level = default_level;
+  state().per_component = std::move(per_component);
   return true;
 }
 

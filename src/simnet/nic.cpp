@@ -56,6 +56,16 @@ void Fabric::deliver_at(sim::Time earliest, sim::Time occupancy, Packet pkt) {
 Nic::Nic(mach::Machine& machine, Fabric& fabric, NicParams params)
     : machine_(machine), fabric_(fabric), params_(std::move(params)) {
   port_ = fabric.attach(this);
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& node = machine_.name();
+  const std::string& rail = fabric_.name();
+  m_tx_packets_ = reg.counter({"nic", node, -1, rail + ".tx_packets"});
+  m_tx_bytes_ = reg.counter({"nic", node, -1, rail + ".tx_bytes"});
+  m_rx_packets_ = reg.counter({"nic", node, -1, rail + ".rx_packets"});
+  m_rx_bytes_ = reg.counter({"nic", node, -1, rail + ".rx_bytes"});
+  m_polls_hit_ = reg.counter({"nic", node, -1, rail + ".polls_hit"});
+  m_polls_empty_ = reg.counter({"nic", node, -1, rail + ".polls_empty"});
+  m_rx_queue_depth_ = reg.gauge({"nic", node, -1, rail + ".rx_queue_depth"});
 }
 
 SendHandle Nic::post_send(int dst_port, Channel channel,
@@ -86,6 +96,8 @@ SendHandle Nic::post_send(int dst_port, Channel channel,
   ++tx_inflight_;
   ++packets_sent_;
   bytes_sent_ += size;
+  m_tx_packets_.inc();
+  m_tx_bytes_.inc(size);
 
   sim::Engine& eng = fabric_.engine();
   // NIC pipeline: DMA, then the wire serializes this packet after any
@@ -127,6 +139,8 @@ SendHandle Nic::post_send(int dst_port, Channel channel,
 void Nic::enqueue_rx(Packet pkt) {
   ++packets_received_;
   bytes_received_ += pkt.size();
+  m_rx_packets_.inc();
+  m_rx_bytes_.inc(pkt.size());
   if (timeline_ != nullptr) {
     timeline_->instant_event(
         "rx " + std::to_string(pkt.size()) + "B <- port " +
@@ -134,19 +148,23 @@ void Nic::enqueue_rx(Packet pkt) {
         "nic", timeline_pid_, timeline_tid_, fabric_.engine().now());
   }
   rx_queue_.push_back(std::move(pkt));
+  m_rx_queue_depth_.set(static_cast<std::int64_t>(rx_queue_.size()));
   if (rx_notifier_) rx_notifier_();
 }
 
 std::optional<Packet> Nic::poll() {
   if (rx_queue_.empty()) {
     ++polls_empty_;
+    m_polls_empty_.inc();
     charge_ctx(params_.poll_empty_cost);
     return std::nullopt;
   }
   ++polls_hit_;
+  m_polls_hit_.inc();
   charge_ctx(params_.poll_hit_cost);
   Packet pkt = std::move(rx_queue_.front());
   rx_queue_.pop_front();
+  m_rx_queue_depth_.set(static_cast<std::int64_t>(rx_queue_.size()));
   return pkt;
 }
 

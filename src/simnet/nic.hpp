@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simcore/engine.hpp"
 #include "simmachine/machine.hpp"
 #include "simnet/packet.hpp"
@@ -170,6 +171,16 @@ class Nic {
   std::uint64_t bytes_received_ = 0;
   std::uint64_t polls_empty_ = 0;
   std::uint64_t polls_hit_ = 0;
+
+  // Registry instruments, labeled (nic, <machine>, <fabric>.*) -- the
+  // fabric name disambiguates the per-rail NICs of one node.
+  obs::Counter m_tx_packets_;
+  obs::Counter m_tx_bytes_;
+  obs::Counter m_rx_packets_;
+  obs::Counter m_rx_bytes_;
+  obs::Counter m_polls_hit_;
+  obs::Counter m_polls_empty_;
+  obs::Gauge m_rx_queue_depth_;
 };
 
 }  // namespace pm2::net

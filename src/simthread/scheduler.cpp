@@ -53,8 +53,15 @@ Scheduler& ThreadContext::scheduler() const { return thread_.sched_; }
 
 Scheduler::Scheduler(mach::Machine& machine) : machine_(machine) {
   cores_.resize(static_cast<std::size_t>(machine.num_cores()));
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& node = machine.name();
   for (int i = 0; i < machine.num_cores(); ++i) {
-    cores_[static_cast<std::size_t>(i)].id = i;
+    Core& c = cores_[static_cast<std::size_t>(i)];
+    c.id = i;
+    c.m_switches = reg.counter({"sched", node, i, "context_switches"});
+    c.m_idle_hook_runs = reg.counter({"sched", node, i, "idle_hook_runs"});
+    c.m_switch_hook_runs = reg.counter({"sched", node, i, "switch_hook_runs"});
+    c.m_timer_hook_runs = reg.counter({"sched", node, i, "timer_hook_runs"});
   }
 }
 
@@ -128,6 +135,8 @@ void Scheduler::dispatch(int core) {
     cost += costs().context_switch;
     ++c.switches;
     ++total_switches_;
+    c.m_switches.inc();
+    if (!switch_hooks_.empty()) c.m_switch_hook_runs.inc();
     cost += run_hooks(switch_hooks_, core);
   }
   c.hooks_since_dispatch = false;
@@ -429,6 +438,7 @@ void Scheduler::work(sim::Time total) {
 void Scheduler::run_timer_tick_inline(Thread* t) {
   Core& c = cores_[static_cast<std::size_t>(t->core_)];
   c.next_tick = engine().now() + costs().timer_tick;
+  if (!timer_hooks_.empty()) c.m_timer_hook_runs.inc();
   const sim::Time consumed = run_hooks(timer_hooks_, t->core_);
   c.hook_time += consumed;
   if (consumed > 0) charge_current(consumed);
@@ -514,6 +524,7 @@ void Scheduler::idle_tick(int core) {
     kick(core);
     return;
   }
+  if (!idle_hooks_.empty()) c.m_idle_hook_runs.inc();
   const sim::Time consumed = run_hooks(idle_hooks_, core);
   c.hook_time += consumed;
   c.hooks_since_dispatch = true;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/time.hpp"
 #include "simmachine/machine.hpp"
@@ -153,6 +154,11 @@ class Scheduler {
     /// full switch (this is half of the paper's 750 ns passive-wait cost).
     bool hooks_since_dispatch = false;
     sim::Time span_start = -1;  ///< timeline: current thread span begin
+    // Registry instruments, labeled (sched, <machine>, core=id).
+    obs::Counter m_switches;
+    obs::Counter m_idle_hook_runs;
+    obs::Counter m_switch_hook_runs;
+    obs::Counter m_timer_hook_runs;
   };
 
   void enqueue(int core, Thread* t);

@@ -7,7 +7,14 @@
 namespace pm2::sync {
 
 SpinLock::SpinLock(mth::Scheduler& sched, std::string name)
-    : sched_(sched), name_(std::move(name)) {}
+    : sched_(sched), name_(std::move(name)) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string& node = sched_.machine().name();
+  m_acquisitions_ =
+      reg.counter({"sync", node, -1, name_ + ".acquisitions"});
+  m_contentions_ = reg.counter({"sync", node, -1, name_ + ".contentions"});
+  m_hold_ns_ = reg.counter({"sync", node, -1, name_ + ".hold_ns"});
+}
 
 void SpinLock::lock() {
   auto& ctx = mth::ExecContext::current();
@@ -15,7 +22,7 @@ void SpinLock::lock() {
   ctx.charge(sched_.costs().spin_acquire);
   if (!held_) {
     held_ = true;
-    ++acquisitions_;
+    note_acquired();
     return;
   }
   // Contended: actively spin until a release lets us in. A release wakes
@@ -26,6 +33,7 @@ void SpinLock::lock() {
   assert(ctx.can_block() &&
          "spinlock contention outside a thread context; use try_lock()");
   ++contentions_;
+  m_contentions_.inc();
   mth::Thread* self = sched_.current_thread();
   const sim::Time park_start = sched_.engine().now();
   for (;;) {
@@ -40,12 +48,12 @@ void SpinLock::lock() {
       if (granted_ == self) {
         granted_ = nullptr;
         assert(held_);
-        ++acquisitions_;
+        note_acquired();
         return;
       }
       if (!held_) {
         held_ = true;
-        ++acquisitions_;
+        note_acquired();
         return;
       }
       continue;
@@ -57,7 +65,7 @@ void SpinLock::lock() {
       granted_ = nullptr;
       assert(held_);
       ctx.touch(line_);
-      ++acquisitions_;
+      note_acquired();
       return;
     }
     // Woken for a retry window: pay the attempt and re-check.
@@ -65,7 +73,7 @@ void SpinLock::lock() {
     ctx.charge(sched_.costs().spin_acquire);
     if (!held_) {
       held_ = true;
-      ++acquisitions_;
+      note_acquired();
       return;
     }
   }
@@ -77,12 +85,17 @@ bool SpinLock::try_lock() {
   ctx.charge(sched_.costs().spin_acquire);
   if (held_) return false;
   held_ = true;
-  ++acquisitions_;
+  note_acquired();
   return true;
 }
 
 void SpinLock::unlock() {
   assert(held_ && "unlock of a free SpinLock");
+  if (acquired_at_ >= 0) {
+    m_hold_ns_.inc(
+        static_cast<std::uint64_t>(sched_.engine().now() - acquired_at_));
+    acquired_at_ = -1;
+  }
   charge_if_ctx(sched_.costs().spin_release);
   if (!spinners_.empty()) {
     Waiter w = spinners_.front();

@@ -15,6 +15,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "simmachine/machine.hpp"
 #include "simthread/scheduler.hpp"
 
@@ -51,6 +52,14 @@ class SpinLock {
     sim::Time park_start;
   };
 
+  void note_acquired() {
+    ++acquisitions_;
+    m_acquisitions_.inc();
+    if (obs::MetricsRegistry::global().enabled()) {
+      acquired_at_ = sched_.engine().now();
+    }
+  }
+
   mth::Scheduler& sched_;
   std::string name_;
   mach::CacheLine line_;
@@ -59,6 +68,11 @@ class SpinLock {
   std::deque<Waiter> spinners_;
   std::uint64_t acquisitions_ = 0;
   std::uint64_t contentions_ = 0;
+  // Registry instruments, labeled (sync, <machine>, <lock name>.*).
+  obs::Counter m_acquisitions_;
+  obs::Counter m_contentions_;
+  obs::Counter m_hold_ns_;
+  sim::Time acquired_at_ = -1;  ///< virtual hold-time start (registry only)
 };
 
 /// RAII guard, analogous to std::lock_guard.

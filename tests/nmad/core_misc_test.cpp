@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "nmad/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "sync/barrier.hpp"
 
 namespace pm2::nm {
@@ -137,11 +138,19 @@ TEST(Stats, CountersTrackTraffic) {
     for (int i = 0; i < 5; ++i) world.core(1).recv(world.gate(1, 0), 1, b, 16);
   });
   world.run();
+  // The Stats struct is now a thin view over registry counters: the view
+  // and the registry lookup must agree.
   EXPECT_EQ(world.core(0).stats().sends, 5u);
-  EXPECT_EQ(world.core(1).stats().recvs, 5u);
-  EXPECT_GE(world.core(1).stats().packets_rx, 1u);
-  EXPECT_GE(world.core(1).stats().chunks_rx, 5u);
-  EXPECT_GT(world.core(1).stats().progress_passes, 0u);  // receiver polls
+  const auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter_value("nmad", "node0", "sends"), 5u);
+  EXPECT_EQ(reg.counter_value("nmad", "node1", "recvs"), 5u);
+  EXPECT_GE(reg.counter_value("nmad", "node1", "packets_rx").value_or(0), 1u);
+  EXPECT_GE(reg.counter_value("nmad", "node1", "chunks_rx").value_or(0), 5u);
+  // Receiver polls.
+  EXPECT_GT(reg.counter_value("nmad", "node1", "progress_passes").value_or(0),
+            0u);
+  EXPECT_EQ(world.core(1).stats().recvs,
+            reg.counter_value("nmad", "node1", "recvs").value_or(0));
 }
 
 TEST(ClusterWiring, FullMeshGates) {

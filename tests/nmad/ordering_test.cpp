@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "nmad/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "simcore/random.hpp"
 
 namespace pm2::nm {
@@ -51,7 +52,11 @@ TEST(Ordering, UnexpectedMessagesAdoptedInSendOrder) {
     }
   });
   world.run();
-  EXPECT_GT(world.core(1).stats().unexpected_chunks, 0u);
+  // Stats are registry counters now; the canonical read is the lookup.
+  EXPECT_GT(obs::MetricsRegistry::global()
+                .counter_value("nmad", "node1", "unexpected_chunks")
+                .value_or(0),
+            0u);
 }
 
 TEST(Ordering, DifferentTagsMatchIndependently) {

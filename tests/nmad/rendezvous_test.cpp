@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "nmad/cluster.hpp"
+#include "obs/metrics.hpp"
 
 namespace pm2::nm {
 namespace {
@@ -32,8 +33,9 @@ TEST(Rendezvous, EarlyReceiverCompletes) {
     world.core(0).send(world.gate(0, 1), 5, data.data(), data.size());
   });
   world.run();
-  EXPECT_GE(world.core(0).stats().rdv_handshakes +
-                world.core(1).stats().rdv_handshakes,
+  const auto& reg = obs::MetricsRegistry::global();
+  EXPECT_GE(reg.counter_value("nmad", "node0", "rdv_handshakes").value_or(0) +
+                reg.counter_value("nmad", "node1", "rdv_handshakes").value_or(0),
             1u);
 }
 
@@ -78,7 +80,10 @@ TEST(Rendezvous, ThresholdBoundaryIsRespected) {
                 size);
     });
     world.run();
-    const std::uint64_t handshakes = world.core(0).stats().rdv_handshakes;
+    const std::uint64_t handshakes =
+        obs::MetricsRegistry::global()
+            .counter_value("nmad", "node0", "rdv_handshakes")
+            .value_or(0);
     if (delta == 0) {
       EXPECT_EQ(handshakes, 0u) << "at-threshold message must stay eager";
     } else {

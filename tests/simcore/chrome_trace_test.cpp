@@ -46,6 +46,50 @@ TEST(ChromeTrace, EscapesSpecialCharacters) {
   EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
 }
 
+TEST(ChromeTrace, EscapesControlCharacters) {
+  // Regression: thread names with control characters used to produce JSON
+  // that Perfetto rejects. Every char below 0x20 must be escaped.
+  ChromeTrace t;
+  t.instant_event("tab\there", "cat", 0, 0, 0);
+  t.instant_event("line\nbreak", "cat", 0, 0, 0);
+  t.instant_event("cr\rlf", "cat", 0, 0, 0);
+  t.instant_event("bell\x07!", "cat", 0, 0, 0);
+  t.instant_event("back\bspace", "cat", 0, 0, 0);
+  t.instant_event("form\ffeed", "cat", 0, 0, 0);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+  EXPECT_NE(json.find("cr\\rlf"), std::string::npos);
+  EXPECT_NE(json.find("bell\\u0007!"), std::string::npos);
+  EXPECT_NE(json.find("back\\bspace"), std::string::npos);
+  EXPECT_NE(json.find("form\\ffeed"), std::string::npos);
+  // No raw control character may survive into the serialized output; the
+  // only one allowed is the '\n' the serializer itself emits between
+  // events (legal JSON whitespace, outside every string).
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(ChromeTrace, EmitsFlowEvents) {
+  ChromeTrace t;
+  t.flow_begin("msg", "flow", 0, 3, 1000, 42);
+  t.flow_step("msg", "flow", 1, 0, 1500, 42);
+  t.flow_end("msg", "flow", 1, 0, 2000, 42);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // All three share the flow id; the end event binds to the enclosing slice.
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // Non-flow events must not carry an id.
+  ChromeTrace plain;
+  plain.instant_event("rx", "nic", 0, 0, 0);
+  EXPECT_EQ(plain.to_json().find("\"id\":"), std::string::npos);
+}
+
 TEST(ChromeTrace, WritesFile) {
   ChromeTrace t;
   t.complete_event("x", "y", 0, 0, 0, 10);

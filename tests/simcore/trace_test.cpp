@@ -26,8 +26,46 @@ TEST(Trace, MalformedSpecRejected) {
   Trace::set_level(TraceLevel::kOff);
 }
 
-TEST(Trace, EmptySegmentsTolerated) {
-  EXPECT_TRUE(Trace::configure(",,info,,"));
+TEST(Trace, EmptySegmentsRejected) {
+  // A trailing comma (or any empty segment) is a typo, not a request:
+  // reject it instead of silently ignoring half the spec.
+  EXPECT_FALSE(Trace::configure("info,"));
+  EXPECT_FALSE(Trace::configure(",info"));
+  EXPECT_FALSE(Trace::configure(",,info,,"));
+  EXPECT_FALSE(Trace::configure("info,,nmad=debug"));
+  EXPECT_FALSE(Trace::configure("=debug"));
+  Trace::set_level(TraceLevel::kOff);
+}
+
+TEST(Trace, EmptySpecIsNoOp) {
+  Trace::set_level(TraceLevel::kWarn);
+  EXPECT_TRUE(Trace::configure(""));
+  EXPECT_TRUE(Trace::enabled("anything", TraceLevel::kWarn));
+  EXPECT_FALSE(Trace::enabled("anything", TraceLevel::kInfo));
+  Trace::set_level(TraceLevel::kOff);
+}
+
+TEST(Trace, LevelsAreCaseInsensitive) {
+  EXPECT_TRUE(Trace::configure("INFO"));
+  EXPECT_TRUE(Trace::enabled("anything", TraceLevel::kInfo));
+  EXPECT_TRUE(Trace::configure("Debug"));
+  EXPECT_TRUE(Trace::enabled("anything", TraceLevel::kDebug));
+  EXPECT_TRUE(Trace::configure("off,nmad=DEBUG"));
+  EXPECT_TRUE(Trace::enabled("nmad", TraceLevel::kDebug));
+  EXPECT_FALSE(Trace::enabled("sched", TraceLevel::kError));
+  Trace::set_level("nmad", TraceLevel::kOff);
+  Trace::set_level(TraceLevel::kOff);
+}
+
+TEST(Trace, FailedConfigureLeavesStateIntact) {
+  EXPECT_TRUE(Trace::configure("warn,nmad=debug"));
+  // The default level parses before the bad tail; neither may stick.
+  EXPECT_FALSE(Trace::configure("error,nmad=loud"));
+  EXPECT_FALSE(Trace::configure("info,"));
+  EXPECT_TRUE(Trace::enabled("anything", TraceLevel::kWarn));
+  EXPECT_FALSE(Trace::enabled("anything", TraceLevel::kInfo));
+  EXPECT_TRUE(Trace::enabled("nmad", TraceLevel::kDebug));
+  Trace::set_level("nmad", TraceLevel::kOff);
   Trace::set_level(TraceLevel::kOff);
 }
 
