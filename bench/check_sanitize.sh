@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Build and run the tier-1 test suite under AddressSanitizer + UBSan.
+#
+# The zero-copy data path hands pooled slabs across layers (strategy ->
+# NIC -> matching -> adoption) by reference; this is the memory-safety
+# gate for that plumbing. Uses a separate build tree so the regular build
+# stays untouched.
+#
+# Usage: bench/check_sanitize.sh [build-dir]   (default: ./build-asan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPM2SIM_SANITIZE=address,undefined
+cmake --build "$build_dir" -j"$(nproc)"
+
+# halt_on_error so UBSan failures are fatal, not just log lines.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ctest --test-dir "$build_dir" -j"$(nproc)" --output-on-failure
+
+echo "sanitizer suite clean"

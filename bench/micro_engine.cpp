@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "nmad/cluster.hpp"
@@ -189,6 +190,53 @@ void BM_PingpongEndToEndMetrics(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kIters);
 }
 BENCHMARK(BM_PingpongEndToEndMetrics)->Unit(benchmark::kMillisecond);
+
+void BM_LargeMessageBandwidth(benchmark::State& state) {
+  // Host cost of the bulk data path: stream rendezvous-size messages with a
+  // window of outstanding sends. items/s = messages/s of host (wall-clock)
+  // throughput; bytes/s tracks how fast the simulator moves payload bytes.
+  const std::size_t msg = static_cast<std::size_t>(state.range(0));
+  const int kCount = 16;
+  for (auto _ : state) {
+    nm::ClusterConfig cfg;
+    nm::Cluster world(cfg);
+    world.spawn(0, [&world, msg] {
+      auto& c = world.core(0);
+      auto* g = world.gate(0, 1);
+      std::vector<std::uint8_t> data(msg, 0x5a);
+      std::deque<nm::Request*> window;
+      for (int i = 0; i < kCount; ++i) {
+        window.push_back(c.isend(g, 1, data.data(), data.size()));
+        if (window.size() >= 4) {
+          c.wait(window.front());
+          c.release(window.front());
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        c.wait(window.front());
+        c.release(window.front());
+        window.pop_front();
+      }
+    });
+    world.spawn(1, [&world, msg] {
+      auto& c = world.core(1);
+      auto* g = world.gate(1, 0);
+      std::vector<std::uint8_t> buf(msg);
+      for (int i = 0; i < kCount; ++i) {
+        c.recv(g, 1, buf.data(), buf.size());
+      }
+    });
+    world.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetBytesProcessed(state.iterations() * kCount *
+                          static_cast<std::int64_t>(msg));
+}
+BENCHMARK(BM_LargeMessageBandwidth)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -40,6 +40,17 @@ awk '
   }
 ' "$repo_root/BENCH_engine.json"
 
+# Data-path throughput: the large-message bandwidth runs (64 KiB eager-ish
+# and 1 MiB rendezvous) exercise the zero-copy scatter/gather path.
+awk '
+  /"name": "BM_LargeMessageBandwidth\/[0-9]+_median"/ { want = 1; name = $2 }
+  want && /"items_per_second":/ {
+    gsub(/[",]/, "", name); gsub(/,/, "", $2)
+    printf "  %-34s %.1f msgs/s\n", name, $2
+    want = 0
+  }
+' "$repo_root/BENCH_engine.json"
+
 overhead_bin="$build_dir/bench/metrics_overhead"
 if [ -x "$overhead_bin" ]; then
   echo "checking metrics hot-path overhead (<3%):"

@@ -41,6 +41,14 @@ Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
   stats_.unexpected_chunks = reg.counter({"nmad", node, -1, "unexpected_chunks"});
   stats_.rdv_handshakes = reg.counter({"nmad", node, -1, "rdv_handshakes"});
   stats_.progress_passes = reg.counter({"nmad", node, -1, "progress_passes"});
+  m_bytes_copied_ = reg.counter({"nmad", node, -1, "data.bytes_copied"});
+  m_copies_ = reg.counter({"nmad", node, -1, "data.copies"});
+  m_deliver_bytes_copied_ =
+      reg.counter({"nmad", node, -1, "data.deliver_bytes_copied"});
+  m_adopt_bytes_copied_ =
+      reg.counter({"nmad", node, -1, "data.adopt_bytes_copied"});
+  m_placed_bytes_ = reg.counter({"nmad", node, -1, "data.placed_bytes"});
+  m_copies_per_msg_ = reg.histogram({"nmad", node, -1, "data.copies_per_msg"});
   src_to_gate_.resize(kMaxRails);
   submit_tasklet_ = std::make_unique<piom::Tasklet>(
       [this](mth::HookContext& hctx) {
@@ -121,11 +129,14 @@ Request* Core::alloc_request() {
   req->msg_seq_ = 0;
   req->seq_bound_ = false;
   req->send_data_ = nullptr;
+  req->send_slices_.clear();
   req->inflight_chunks_ = 0;
   req->fully_submitted_ = false;
   req->rdv_granted_ = false;
   req->recv_buf_ = nullptr;
+  req->recv_slices_.clear();
   req->capacity_ = 0;
+  req->host_copies_ = 0;
   req->total_len_ = 0;
   req->total_known_ = false;
   req->filled_ = 0;
@@ -173,6 +184,7 @@ void Core::complete_request(Request* req) {
     flow_->stamp(req->flow_id_, obs::FlowStage::kComplete, engine().now(),
                  node_id_, current_core());
   }
+  m_copies_per_msg_.observe(req->host_copies_);
   req->flag_.set();
   --active_reqs_;
 }
@@ -204,10 +216,29 @@ Request* Core::isend(Gate* gate, Tag tag, const void* data, std::size_t len) {
   ctx.charge(cfg_.api_cost);
 
   Request* req = alloc_request();
+  req->send_data_ = static_cast<const std::uint8_t*>(data);
+  return launch_send(ctx, req, gate, tag, len);
+}
+
+Request* Core::isend_sg(Gate* gate, Tag tag, const ConstIoSlice* slices,
+                        std::size_t count) {
+  assert(gate != nullptr);
+  assert(tag != kAnyTag && "kAnyTag is receive-only");
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+
+  Request* req = alloc_request();
+  req->send_slices_.assign(slices, slices + count);
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < count; ++i) len += slices[i].len;
+  return launch_send(ctx, req, gate, tag, len);
+}
+
+Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
+                           Tag tag, std::size_t len) {
   req->kind_ = ReqKind::kSend;
   req->gate_ = gate;
   req->tag_ = tag;
-  req->send_data_ = static_cast<const std::uint8_t*>(data);
   req->total_len_ = len;
   req->total_known_ = true;
   ++active_reqs_;
@@ -240,6 +271,10 @@ Request* Core::isend(Gate* gate, Tag tag, const void* data, std::size_t len) {
   pw.tag = tag;
   pw.msg_seq = req->msg_seq_;
   pw.data = req->send_data_;
+  if (!req->send_slices_.empty()) {
+    pw.slices = req->send_slices_.data();
+    pw.n_slices = req->send_slices_.size();
+  }
   pw.len = len;
   pw.cookie = req->id_;
   if (rdv) {
@@ -306,11 +341,32 @@ Request* Core::irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
   ctx.charge(cfg_.api_cost);
 
   Request* req = alloc_request();
+  req->recv_buf_ = static_cast<std::uint8_t*>(buf);
+  req->capacity_ = capacity;
+  return launch_recv(ctx, req, gate, tag);
+}
+
+Request* Core::irecv_sg(Gate* gate, Tag tag, const IoSlice* slices,
+                        std::size_t count) {
+  assert(gate != nullptr);
+  auto& ctx = mth::ExecContext::current();
+  ctx.charge(cfg_.api_cost);
+
+  Request* req = alloc_request();
+  req->recv_slices_.assign(slices, slices + count);
+  req->recv_buf_ = nullptr;
+  std::size_t capacity = 0;
+  for (std::size_t i = 0; i < count; ++i) capacity += slices[i].len;
+  req->capacity_ = capacity;
+  return launch_recv(ctx, req, gate, tag);
+}
+
+Request* Core::launch_recv(mth::ExecContext& ctx, Request* req, Gate* gate,
+                           Tag tag) {
+  const std::size_t capacity = req->capacity_;
   req->kind_ = ReqKind::kRecv;
   req->gate_ = gate;
   req->tag_ = tag;
-  req->recv_buf_ = static_cast<std::uint8_t*>(buf);
-  req->capacity_ = capacity;
   ++active_reqs_;
   stats_.recvs.add_always();
 
@@ -346,13 +402,21 @@ Request* Core::irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
       cts.tag = tag;
       cts.msg_seq = um.msg_seq;
       cts.cookie = um.rts_cookie;
+      cts.rdv_window = req;  // the window the grant advertises
       deferred_pws_.emplace_back(gate, cts);
       adopted_rdv = true;
       stats_.rdv_handshakes.add_always();
     } else {
-      // Copy from the internal unexpected buffer into the user buffer.
+      // Scatter the retained unexpected pieces into the user buffer: the
+      // single host copy of the unexpected eager path.
       if (um.filled > 0) {
-        std::memcpy(req->recv_buf_, um.data.data(), um.filled);
+        for (const auto& piece : um.pieces) {
+          req->scatter_into(piece.offset, piece.data, piece.len);
+        }
+        ++req->host_copies_;
+        m_adopt_bytes_copied_.inc(um.filled);
+        m_bytes_copied_.inc(um.filled);
+        m_copies_.inc();
         ctx.charge(copy_cost(rail(0).nic().params().rx_copy_per_byte, um.filled));
       }
       if (flow_ != nullptr) {
@@ -662,6 +726,25 @@ bool Core::submit_step(mth::ExecContext& ctx, bool use_try) {
 bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
                          bool use_try) {
   bool posted = false;
+  // Execute rendezvous placements now, before any wire event can fire: the
+  // modeled RDMA lands the bytes in the receiver's window so neither side
+  // ever observes missing data. Host copy accounting for gathered chunks
+  // also lands here (the strategy counted, we publish).
+  for (auto& a : staged) {
+    if (!a.pkt.placements.empty()) {
+      std::uint64_t placed = 0;
+      for (const RdvPlacement& pl : a.pkt.placements) {
+        pl.dst->scatter_into(pl.msg_off, pl.src, pl.len);
+        placed += pl.len;
+      }
+      m_placed_bytes_.inc(placed);
+      a.pkt.placements.clear();
+    }
+    if (a.pkt.gathered_bytes > 0) {
+      m_bytes_copied_.inc(a.pkt.gathered_bytes);
+      m_copies_.inc(a.pkt.gathered_chunks);
+    }
+  }
   if (flow_ != nullptr && !staged.empty()) {
     const sim::Time now = engine().now();
     const int core = current_core();
@@ -780,10 +863,12 @@ void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
     return;
   }
   PacketReader reader(pkt.payload);
+  const net::SlabRef* backing = pkt.payload.data_slab();
   const std::uint8_t* data = nullptr;
-  while (auto h = reader.next(&data)) {
+  void* note = nullptr;
+  while (auto h = reader.next(&data, &note)) {
     stats_.chunks_rx.add_always();
-    handle_chunk_locked(ctx, rail, *gate, *h, data);
+    handle_chunk_locked(ctx, rail, *gate, *h, data, note, backing);
   }
   if (!reader.ok()) {
     PM2_TRACE("nmad", kError, "%s: malformed packet from port %d",
@@ -792,10 +877,13 @@ void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
 }
 
 void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
-                               const ChunkHeader& h, const std::uint8_t* data) {
+                               const ChunkHeader& h, const std::uint8_t* data,
+                               void* note, const net::SlabRef* backing) {
   switch (h.kind) {
     case ChunkKind::kCts: {
-      // Sender side: rendezvous granted; queue the bulk data.
+      // Sender side: rendezvous granted; queue the bulk data. The CTS note
+      // carries the receiving request -- the advertised memory window --
+      // so the data chunks can be *placed* with zero host copies.
       auto it = send_by_cookie_.find(h.cookie);
       assert(it != send_by_cookie_.end() && "CTS for unknown request");
       Request* req = it->second;
@@ -808,8 +896,13 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
       pw.tag = req->tag_;
       pw.msg_seq = req->msg_seq_;
       pw.data = req->send_data_;
+      if (!req->send_slices_.empty()) {
+        pw.slices = req->send_slices_.data();
+        pw.n_slices = req->send_slices_.size();
+      }
       pw.len = req->total_len_;
       pw.cookie = req->id_;
+      pw.rdv_window = static_cast<Request*>(note);
       deferred_pws_.emplace_back(req->gate_, pw);
       resubmit_hint_ = true;
       return;
@@ -840,6 +933,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         cts.tag = h.tag;
         cts.msg_seq = h.msg_seq;
         cts.cookie = h.cookie;
+        cts.rdv_window = req;  // the window the grant advertises
         deferred_pws_.emplace_back(&gate, cts);
         resubmit_hint_ = true;
         stats_.rdv_handshakes.add_always();
@@ -884,7 +978,10 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         deliver_chunk_locked(ctx, rail, gate, req, h, data);
         return;
       }
-      // Unexpected: accumulate in an internal buffer.
+      // Unexpected: retain the chunk bytes without copying when the packet
+      // payload lives in a pooled slab (segmented delivery) -- the piece
+      // shares the slab via refcount. Flat payloads (raw injection) die
+      // with the packet, so those bytes go into a fresh pooled slab.
       UnexpectedMsg* um = nullptr;
       for (auto& u : gate.unexpected_) {
         if (u.msg_seq == h.msg_seq) {
@@ -898,11 +995,24 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         um->tag = h.tag;
         um->msg_seq = h.msg_seq;
         um->total_len = h.total_len;
-        um->data.resize(h.total_len);
       }
       if (h.chunk_len > 0) {
-        assert(h.offset + h.chunk_len <= um->data.size());
-        std::memcpy(um->data.data() + h.offset, data, h.chunk_len);
+        assert(data != nullptr && "placed chunk arrived unexpected");
+        assert(h.offset + h.chunk_len <= um->total_len);
+        UnexpectedPiece piece;
+        piece.offset = h.offset;
+        piece.len = h.chunk_len;
+        if (backing != nullptr) {
+          piece.backing = *backing;  // handoff, no host copy
+          piece.data = data;
+        } else {
+          piece.backing = net::BufferPool::global().acquire(h.chunk_len);
+          std::memcpy(piece.backing.data(), data, h.chunk_len);
+          piece.data = piece.backing.data();
+          m_bytes_copied_.inc(h.chunk_len);
+          m_copies_.inc();
+        }
+        um->pieces.push_back(std::move(piece));
         ctx.charge(copy_cost(
             rail_ptrs_[static_cast<std::size_t>(rail)]->nic().params().rx_copy_per_byte,
             h.chunk_len));
@@ -926,9 +1036,19 @@ void Core::deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
   }
   if (h.chunk_len > 0) {
     assert(h.offset + h.chunk_len <= req->capacity_);
-    std::memcpy(req->recv_buf_ + h.offset, data, h.chunk_len);
+    // Placed chunks (data == nullptr) already landed in the window at
+    // commit time -- zero host copies on this side. Everything else is
+    // scattered from the rx ring into the user buffer(s) here.
+    if (data != nullptr) {
+      req->scatter_into(h.offset, data, h.chunk_len);
+      ++req->host_copies_;
+      m_deliver_bytes_copied_.inc(h.chunk_len);
+      m_bytes_copied_.inc(h.chunk_len);
+      m_copies_.inc();
+    }
     // Matched receives: small chunks are copied out of the rx ring; large
-    // ones land in place by DMA and only pay completion handling.
+    // ones land in place by DMA and only pay completion handling. The
+    // charge is taken either way (the DMA-completion model is unchanged).
     const auto& p = rail_ptrs_[static_cast<std::size_t>(rail)]->nic().params();
     ctx.charge(h.chunk_len <= p.pio_threshold
                    ? copy_cost(p.rx_copy_per_byte, h.chunk_len)

@@ -84,12 +84,24 @@ class Core final : public piom::PollSource {
   /// wire (buffer reusable). @p data must stay valid until completion.
   Request* isend(Gate* gate, Tag tag, const void* data, std::size_t len);
 
+  /// Non-blocking scatter/gather send: the message is the concatenation of
+  /// @p slices. The slice *array* is copied; the segment bytes must stay
+  /// valid until completion (they are gathered at most once, directly into
+  /// the wire buffer).
+  Request* isend_sg(Gate* gate, Tag tag, const ConstIoSlice* slices,
+                    std::size_t count);
+
   /// Non-blocking send from a buffer the request takes ownership of (used
   /// by the pack interface); freed at release().
   Request* isend_owned(Gate* gate, Tag tag, std::vector<std::uint8_t> data);
 
   /// Non-blocking receive into @p buf (up to @p capacity bytes).
   Request* irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity);
+
+  /// Non-blocking scatter receive: incoming bytes land across @p slices in
+  /// order, with no intermediate staging buffer.
+  Request* irecv_sg(Gate* gate, Tag tag, const IoSlice* slices,
+                    std::size_t count);
 
   /// Completion check (one priced flag read). Does not release.
   bool test(Request* req);
@@ -156,6 +168,10 @@ class Core final : public piom::PollSource {
 
  private:
   // Submission pipeline.
+  Request* launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
+                       Tag tag, std::size_t len);
+  Request* launch_recv(mth::ExecContext& ctx, Request* req, Gate* gate,
+                       Tag tag);
   void kick_submission(mth::ExecContext& ctx);
   bool flush_deferred(bool use_try);
   bool submit_step(mth::ExecContext& ctx, bool use_try);
@@ -164,7 +180,8 @@ class Core final : public piom::PollSource {
   void process_packet_locked(mth::ExecContext& ctx, int rail,
                              const net::Packet& pkt);
   void handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
-                           const ChunkHeader& h, const std::uint8_t* data);
+                           const ChunkHeader& h, const std::uint8_t* data,
+                           void* note, const net::SlabRef* backing);
   void deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
                             Request* req, const ChunkHeader& h,
                             const std::uint8_t* data);
@@ -207,6 +224,17 @@ class Core final : public piom::PollSource {
   mth::Thread* poll_thread_ = nullptr;
 
   Stats stats_;
+
+  // Data-path copy observability (registry-gated; zero cost when the
+  // registry is disabled). "Copies" are host memcpys of payload bytes --
+  // placements are the modeled DMA and counted separately.
+  obs::Counter m_bytes_copied_;
+  obs::Counter m_copies_;
+  obs::Counter m_deliver_bytes_copied_;  ///< matched delivery memcpys
+  obs::Counter m_adopt_bytes_copied_;    ///< unexpected -> user adoption
+  obs::Counter m_placed_bytes_;          ///< landed with zero host copies
+  obs::HistogramMetric m_copies_per_msg_;
+
   obs::FlowTracer* flow_ = nullptr;
   int node_id_ = -1;  ///< flow-trace label for this core's side
 };

@@ -21,14 +21,31 @@ namespace pm2::nm {
 inline constexpr net::Channel kTrkSmall = 0;  ///< eager data + control
 inline constexpr net::Channel kTrkBulk = 1;   ///< rendezvous bulk data
 
+/// One placed rendezvous chunk piece: the modeled DMA lands @p len bytes
+/// from the sender's buffer at message offset @p msg_off of the receiving
+/// request (the window the CTS advertised). Executed by the Core when the
+/// packet is committed -- before the wire events fire, so neither side ever
+/// observes missing bytes.
+struct RdvPlacement {
+  Request* dst = nullptr;
+  std::uint32_t msg_off = 0;
+  const std::uint8_t* src = nullptr;
+  std::uint32_t len = 0;
+};
+
 /// A fully-built packet waiting for NIC queue room.
 struct StagedPacket {
   net::Channel trk = kTrkSmall;
   int dst_port = -1;
-  std::vector<std::uint8_t> payload;
+  net::Payload payload;
   /// Send requests with data chunks in this packet; each gets one
   /// inflight-chunk decrement when the wire absorbs the packet.
   std::vector<Request*> accounted;
+  /// Placements to execute at commit (empty once committed).
+  std::vector<RdvPlacement> placements;
+  /// Copy accounting: bytes/chunks the strategy gathered into the payload.
+  std::uint64_t gathered_bytes = 0;
+  std::uint32_t gathered_chunks = 0;
 };
 
 class Driver {

@@ -20,6 +20,7 @@
 #include "nmad/request.hpp"
 #include "nmad/types.hpp"
 #include "simmachine/machine.hpp"
+#include "simnet/buffer_pool.hpp"
 
 namespace pm2::nm {
 
@@ -38,11 +39,27 @@ struct PackWrapper {
   Tag tag = 0;
   std::uint32_t msg_seq = 0;
   const std::uint8_t* data = nullptr;  ///< message bytes (kEager / kRdvData)
+  /// Scatter/gather source segments (data is null when set).
+  const ConstIoSlice* slices = nullptr;
+  std::size_t n_slices = 0;
   std::size_t len = 0;                 ///< total message length
   std::size_t offset = 0;              ///< next byte to submit (split sends)
   std::uint64_t cookie = 0;            ///< rendezvous correlation
+  /// kCts: the granting receive request -- the host-side model of the RDMA
+  /// window the grant advertises. kRdvData: the same window, learned from
+  /// the CTS, into which chunks are placed without any wire-side copy.
+  Request* rdv_window = nullptr;
 
   std::size_t remaining() const { return len - offset; }
+};
+
+/// One chunk of an unexpected message, kept without copying: the packet's
+/// data slab is shared (SlabRef) until the bytes reach a user buffer.
+struct UnexpectedPiece {
+  std::size_t offset = 0;  ///< byte offset within the message
+  std::uint32_t len = 0;
+  const std::uint8_t* data = nullptr;
+  net::SlabRef backing;  ///< keeps *data alive (packet slab or pool copy)
 };
 
 /// A message (or rendezvous announcement) that arrived before a matching
@@ -53,7 +70,7 @@ struct UnexpectedMsg {
   std::size_t total_len = 0;
   bool is_rdv = false;
   std::uint64_t rts_cookie = 0;
-  std::vector<std::uint8_t> data;  ///< accumulated eager bytes
+  std::vector<UnexpectedPiece> pieces;  ///< eager chunks, arrival order
   std::size_t filled = 0;
 };
 

@@ -2,8 +2,6 @@
 
 #include <cassert>
 #include <cmath>
-#include <cstring>
-#include <stdexcept>
 
 namespace pm2::nm {
 
@@ -21,17 +19,18 @@ void charge_copy(std::size_t bytes) {
 
 PackBuilder& PackBuilder::pack(const void* data, std::size_t len) {
   assert((data != nullptr || len == 0) && "null segment with bytes");
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  buffer_.insert(buffer_.end(), p, p + len);
+  slices_.emplace_back(data, len);
+  total_ += len;
+  // The gather is deferred to arrangement (one copy, straight into the
+  // wire buffer) but its cost belongs to nm_pack, so it is priced here.
   charge_copy(len);
   return *this;
 }
 
 Request* PackBuilder::isend(Gate* gate, Tag tag) {
-  // The request takes ownership of the gathered bytes (they stay alive
-  // until release(), as rendezvous sends need); the builder resets.
-  Request* req = core_.isend_owned(gate, tag, std::move(buffer_));
-  buffer_.clear();
+  Request* req = core_.isend_sg(gate, tag, slices_.data(), slices_.size());
+  slices_.clear();
+  total_ = 0;
   return req;
 }
 
@@ -54,21 +53,15 @@ std::size_t UnpackDest::capacity() const {
 }
 
 Request* UnpackDest::irecv(Gate* gate, Tag tag) {
-  staging_.resize(capacity());
-  return core_.irecv(gate, tag, staging_.data(), staging_.size());
+  return core_.irecv_sg(gate, tag, slices_.data(), slices_.size());
 }
 
 std::size_t UnpackDest::wait_and_scatter(Request* req) {
   core_.wait(req);
   const std::size_t n = req->received_length();
   core_.release(req);
-  std::size_t off = 0;
-  for (const auto& s : slices_) {
-    if (off >= n) break;
-    const std::size_t take = std::min(s.len, n - off);
-    std::memcpy(s.base, staging_.data() + off, take);
-    off += take;
-  }
+  // The bytes already landed across the segments on the delivery path;
+  // nm_unpack's scatter cost is still priced here, unchanged.
   charge_copy(n);
   return n;
 }
@@ -79,9 +72,8 @@ std::size_t UnpackDest::recv(Gate* gate, Tag tag) {
 
 Request* isend_v(Core& core, Gate* gate, Tag tag,
                  const std::vector<ConstIoSlice>& slices) {
-  PackBuilder pk(core);
-  for (const auto& s : slices) pk.pack(s);
-  return pk.isend(gate, tag);
+  for (const auto& s : slices) charge_copy(s.len);  // nm_pack gather price
+  return core.isend_sg(gate, tag, slices.data(), slices.size());
 }
 
 }  // namespace pm2::nm

@@ -2,9 +2,12 @@
 //
 // The real library's native API builds messages from several application
 // buffers (nm_pack) and scatters received messages back (nm_unpack),
-// avoiding caller-side marshalling. This layer provides the same
-// convenience on top of Core: segments are gathered into one wire message
-// (the gather copy is priced like any host copy) and scattered on arrival.
+// avoiding caller-side marshalling. This layer is a thin veneer over the
+// Core's scatter/gather entry points (isend_sg / irecv_sg): pack() records
+// segment *references*, and the bytes are gathered at most once -- directly
+// into the wire buffer -- when the message is arranged. Received bytes are
+// scattered straight into the registered destination segments with no
+// intermediate staging buffer.
 #pragma once
 
 #include <cstddef>
@@ -12,40 +15,39 @@
 #include <vector>
 
 #include "nmad/core.hpp"
+#include "nmad/types.hpp"
 
 namespace pm2::nm {
-
-/// One segment of a scatter/gather list.
-struct IoSlice {
-  void* base = nullptr;
-  std::size_t len = 0;
-};
-struct ConstIoSlice {
-  const void* base = nullptr;
-  std::size_t len = 0;
-
-  ConstIoSlice() = default;
-  ConstIoSlice(const void* b, std::size_t l) : base(b), len(l) {}
-  ConstIoSlice(const IoSlice& s) : base(s.base), len(s.len) {}  // NOLINT
-};
 
 /// Outgoing multi-segment message: pack segments, then send.
 ///
 ///   PackBuilder pk(core);
 ///   pk.pack(&header, sizeof header).pack(body.data(), body.size());
 ///   Request* r = pk.isend(gate, tag);
+///
+/// Lifetime contract: pack() keeps a *reference* -- the segment bytes must
+/// stay valid until the returned request completes (same rule as
+/// Core::isend). The builder itself may be destroyed right after isend().
 class PackBuilder {
  public:
   explicit PackBuilder(Core& core) : core_(core) {}
 
-  /// Append a segment (copied immediately; priced per byte).
+  /// Pre-size the segment list (satellite of the zero-copy path: callers
+  /// that know their segment count avoid reallocation on the hot path).
+  PackBuilder& reserve(std::size_t segments) {
+    slices_.reserve(segments);
+    return *this;
+  }
+
+  /// Append a segment reference (priced per byte: the gather copy is paid
+  /// up front here, where the real library's nm_pack pays it).
   PackBuilder& pack(const void* data, std::size_t len);
   PackBuilder& pack(ConstIoSlice slice) { return pack(slice.base, slice.len); }
 
-  std::size_t packed_size() const { return buffer_.size(); }
+  std::size_t packed_size() const { return total_; }
 
-  /// Send the gathered message; the builder resets for reuse. The internal
-  /// buffer is owned by the returned request's lifetime (released with it).
+  /// Send the recorded segments; the builder resets for reuse. Segment
+  /// bytes must stay valid until the request completes.
   Request* isend(Gate* gate, Tag tag);
 
   /// Blocking variant.
@@ -53,17 +55,24 @@ class PackBuilder {
 
  private:
   Core& core_;
-  std::vector<std::uint8_t> buffer_;
+  std::vector<ConstIoSlice> slices_;
+  std::size_t total_ = 0;
 };
 
 /// Scatter an incoming message into multiple application buffers.
 ///
 ///   UnpackDest up(core);
 ///   up.unpack(&header, sizeof header).unpack(body.data(), body.size());
-///   up.recv(gate, tag);   // blocking; or irecv + core.wait
+///   up.recv(gate, tag);   // blocking; or irecv + wait_and_scatter
 class UnpackDest {
  public:
   explicit UnpackDest(Core& core) : core_(core) {}
+
+  /// Pre-size the segment list.
+  UnpackDest& reserve(std::size_t segments) {
+    slices_.reserve(segments);
+    return *this;
+  }
 
   /// Append a destination segment.
   UnpackDest& unpack(void* data, std::size_t len);
@@ -71,13 +80,14 @@ class UnpackDest {
 
   std::size_t capacity() const;
 
-  /// Post the receive; on completion the staging buffer is scattered into
-  /// the registered segments (priced per byte). The returned request must
-  /// be waited via wait_and_scatter().
+  /// Post the receive: incoming bytes land directly across the registered
+  /// segments (no staging buffer). The segments must stay valid until the
+  /// request completes; wait via wait_and_scatter().
   Request* irecv(Gate* gate, Tag tag);
 
-  /// Wait for @p req, scatter into the segments, release the request.
-  /// Returns the received byte count.
+  /// Wait for @p req, release it, return the received byte count. The
+  /// scatter already happened on the delivery path; the unpack copy is
+  /// still priced here, where the real library's nm_unpack pays it.
   std::size_t wait_and_scatter(Request* req);
 
   /// Blocking convenience: irecv + wait_and_scatter.
@@ -86,10 +96,10 @@ class UnpackDest {
  private:
   Core& core_;
   std::vector<IoSlice> slices_;
-  std::vector<std::uint8_t> staging_;
 };
 
-/// Scatter-gather one-shot helpers.
+/// Scatter-gather one-shot helper. Segment bytes must stay valid until the
+/// returned request completes.
 Request* isend_v(Core& core, Gate* gate, Tag tag,
                  const std::vector<ConstIoSlice>& slices);
 

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "nmad/wire_format.hpp"
-
 namespace pm2::nm {
 
 Strategy::~Strategy() = default;
@@ -37,6 +35,31 @@ ChunkHeader header_for(const PackWrapper& pw, std::size_t chunk_len) {
   return h;
 }
 
+/// Visit the contiguous pieces of [from, from+len) of @p pw's message,
+/// whether it is a flat buffer or a scatter/gather slice list.
+template <typename Fn>
+void for_each_piece(const PackWrapper& pw, std::size_t from, std::size_t len,
+                    Fn&& fn) {
+  if (len == 0) return;
+  if (pw.slices == nullptr) {
+    fn(pw.data + from, len);
+    return;
+  }
+  std::size_t skip = from;
+  for (std::size_t i = 0; i < pw.n_slices && len > 0; ++i) {
+    const ConstIoSlice& s = pw.slices[i];
+    if (skip >= s.len) {
+      skip -= s.len;
+      continue;
+    }
+    const std::size_t take = std::min(len, s.len - skip);
+    fn(static_cast<const std::uint8_t*>(s.base) + skip, take);
+    len -= take;
+    skip = 0;
+  }
+  assert(len == 0 && "message extends past its scatter/gather list");
+}
+
 }  // namespace
 
 void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
@@ -53,8 +76,14 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
     return;
   }
 
-  PacketBuilder builder;
+  // Header-size hint: every ctrl wrapper becomes one chunk in the first
+  // packet, and eager aggregation typically adds at least one more.
+  builder_.reserve(gate.ctrl_list_.size() + 1, 0);
+
   std::vector<Request*> accounted;
+  std::vector<RdvPlacement> placements;
+  std::uint64_t gathered_bytes = 0;
+  std::uint32_t gathered_chunks = 0;
 
   auto account_chunk = [&](PackWrapper& pw, std::size_t chunk_len) {
     (void)chunk_len;
@@ -67,23 +96,49 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
       accounted.push_back(pw.req);
     }
   };
+  // Gather one data chunk into the packet's pooled slab -- the single host
+  // copy of the eager path (and of rendezvous fallback when no window is
+  // known, e.g. raw-injected CTS).
+  auto gather_chunk = [&](PackWrapper& pw, std::size_t len) {
+    builder_.add_chunk_begin(header_for(pw, len));
+    for_each_piece(pw, pw.offset, len,
+                   [&](const std::uint8_t* p, std::size_t n) {
+                     builder_.gather(p, n);
+                   });
+    if (len > 0) {
+      gathered_bytes += len;
+      ++gathered_chunks;
+      if (pw.req != nullptr) ++pw.req->host_copies_;
+    }
+  };
   auto flush = [&](int rail, net::Channel trk) {
-    if (builder.chunk_count() == 0) return;
+    if (builder_.chunk_count() == 0) return;
     Arranged a;
     a.rail = rail;
     a.pkt.trk = trk;
     a.pkt.dst_port = gate.peer_port(rail);
-    a.pkt.payload = builder.take();
+    a.pkt.payload = builder_.take();
     a.pkt.accounted = std::move(accounted);
     accounted.clear();
+    a.pkt.placements = std::move(placements);
+    placements.clear();
+    a.pkt.gathered_bytes = gathered_bytes;
+    a.pkt.gathered_chunks = gathered_chunks;
+    gathered_bytes = 0;
+    gathered_chunks = 0;
     out.push_back(std::move(a));
     cost += cfg.strategy_packet_cost;
   };
 
-  // 1. Protocol control chunks (RTS / CTS) ride first, aggregated.
+  // 1. Protocol control chunks (RTS / CTS) ride first, aggregated. A CTS
+  //    carries the granting request as a host-only annotation: the model
+  //    of the memory window an RDMA grant would advertise.
   while (!gate.ctrl_list_.empty()) {
     PackWrapper& pw = gate.ctrl_list_.front();
-    builder.add_chunk(header_for(pw, 0), nullptr);
+    builder_.add_chunk(header_for(pw, 0), nullptr);
+    if (pw.kind == PackWrapper::Kind::kCts) {
+      builder_.annotate_last(pw.rdv_window);
+    }
     account_chunk(pw, 0);
     gate.ctrl_list_.pop_front();
   }
@@ -95,11 +150,11 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
     assert(pw.kind == PackWrapper::Kind::kEager);
     const std::size_t len = pw.remaining();
     const bool fits_aggregate =
-        aggreg_budget > 0 && builder.size_with(len) <= aggreg_budget;
-    if (!fits_aggregate && builder.chunk_count() > 0) {
+        aggreg_budget > 0 && builder_.size_with(len) <= aggreg_budget;
+    if (!fits_aggregate && builder_.chunk_count() > 0) {
       flush(0, kTrkSmall);  // close the current aggregate first
     }
-    builder.add_chunk(header_for(pw, len), pw.data + pw.offset);
+    gather_chunk(pw, len);
     account_chunk(pw, len);
     pw.offset += len;
     pw.req->filled_ = pw.len;
@@ -108,6 +163,26 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
     if (!fits_aggregate) flush(0, kTrkSmall);
   }
   flush(0, kTrkSmall);
+
+  // Emit one rendezvous data chunk. With a known window (the normal case:
+  // the CTS told us the receiving request) the chunk is *placed*: zero host
+  // copies, the Core executes the recorded placements at commit. Without a
+  // window, fall back to gathering real bytes.
+  auto emit_rdv_chunk = [&](PackWrapper& pw, std::size_t len) {
+    if (pw.rdv_window != nullptr) {
+      builder_.add_chunk_placed(header_for(pw, len));
+      std::size_t msg_off = pw.offset;
+      for_each_piece(pw, pw.offset, len,
+                     [&](const std::uint8_t* p, std::size_t n) {
+                       placements.push_back(
+                           {pw.rdv_window, static_cast<std::uint32_t>(msg_off),
+                            p, static_cast<std::uint32_t>(n)});
+                       msg_off += n;
+                     });
+    } else {
+      gather_chunk(pw, len);
+    }
+  };
 
   // 3. Rendezvous bulk data on trk 1, optionally split across rails.
   while (!gate.out_list_.empty() && out.size() < cfg.max_packets_per_round &&
@@ -122,7 +197,7 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
       // Whole remaining payload on the first ready rail.
       const int rail = ready.front();
       const std::size_t len = pw.remaining();
-      builder.add_chunk(header_for(pw, len), pw.data + pw.offset);
+      emit_rdv_chunk(pw, len);
       account_chunk(pw, len);
       pw.offset += len;
       flush(rail, kTrkBulk);
@@ -153,7 +228,7 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
               static_cast<std::size_t>(static_cast<double>(total) * w));
         }
         if (len == 0) continue;
-        builder.add_chunk(header_for(pw, len), pw.data + pw.offset);
+        emit_rdv_chunk(pw, len);
         account_chunk(pw, len);
         pw.offset += len;
         assigned += len;

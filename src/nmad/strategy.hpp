@@ -16,6 +16,7 @@
 #include "nmad/driver.hpp"
 #include "nmad/gate.hpp"
 #include "nmad/types.hpp"
+#include "nmad/wire_format.hpp"
 #include "simthread/exec_context.hpp"
 
 namespace pm2::nm {
@@ -49,6 +50,10 @@ class Strategy {
                     const std::vector<Driver*>& rails, mth::ExecContext& ctx,
                     std::size_t aggreg_budget, bool split_rdv,
                     std::vector<Arranged>& out);
+
+  /// Reused across arrangement rounds (always empty between calls) so the
+  /// hot path does not reallocate header storage per packet.
+  PacketBuilder builder_;
 };
 
 /// FIFO, one message per packet, rail 0 only.

@@ -15,6 +15,20 @@ using Tag = std::uint64_t;
 /// (MPI_ANY_TAG equivalent). Never valid as a SEND tag.
 inline constexpr Tag kAnyTag = ~Tag{0};
 
+/// One segment of a scatter/gather list (iovec equivalents).
+struct IoSlice {
+  void* base = nullptr;
+  std::size_t len = 0;
+};
+struct ConstIoSlice {
+  const void* base = nullptr;
+  std::size_t len = 0;
+
+  ConstIoSlice() = default;
+  ConstIoSlice(const void* b, std::size_t l) : base(b), len(l) {}
+  ConstIoSlice(const IoSlice& s) : base(s.base), len(s.len) {}  // NOLINT
+};
+
 /// How the library protects its shared state (paper Sec. 3).
 enum class LockMode {
   kNone,    ///< no locking: single-threaded baseline ("No locking", Fig. 3)

@@ -25,8 +25,8 @@ void put(std::vector<std::uint8_t>& buf, T value) {
 }
 
 template <typename T>
-bool get(const std::vector<std::uint8_t>& buf, std::size_t& pos, T* out) {
-  if (pos + sizeof(T) > buf.size()) return false;
+bool get(const std::uint8_t* buf, std::size_t size, std::size_t& pos, T* out) {
+  if (pos + sizeof(T) > size) return false;
   T v = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
     v |= static_cast<T>(buf[pos + i]) << (8 * i);
@@ -38,63 +38,187 @@ bool get(const std::vector<std::uint8_t>& buf, std::size_t& pos, T* out) {
 
 }  // namespace
 
+// --------------------------------------------------------------------------
+// PacketBuilder
+// --------------------------------------------------------------------------
+
 PacketBuilder::PacketBuilder() {
   // Reserve the chunk-count slot.
-  put<std::uint16_t>(buf_, 0);
+  put<std::uint16_t>(hdr_, 0);
+}
+
+void PacketBuilder::reserve(std::size_t chunks, std::size_t data_bytes) {
+  hdr_.reserve(2 + chunks * ChunkHeader::kWireSize);
+  segs_.reserve(chunks);
+  if (data_bytes > 0 && data_used_ + data_bytes > data_.capacity()) {
+    grow_data(data_used_ + data_bytes);
+  }
+}
+
+void PacketBuilder::put_header(const ChunkHeader& h) {
+  put<std::uint8_t>(hdr_, static_cast<std::uint8_t>(h.kind));
+  put<std::uint64_t>(hdr_, h.tag);
+  put<std::uint32_t>(hdr_, h.msg_seq);
+  put<std::uint32_t>(hdr_, h.offset);
+  put<std::uint32_t>(hdr_, h.chunk_len);
+  put<std::uint32_t>(hdr_, h.total_len);
+  put<std::uint64_t>(hdr_, h.cookie);
+  wire_size_ += ChunkHeader::kWireSize + h.chunk_len;
+}
+
+void PacketBuilder::grow_data(std::size_t need) {
+  net::SlabRef bigger = net::BufferPool::global().acquire(need);
+  if (data_used_ > 0) {
+    std::memcpy(bigger.data(), data_.data(), data_used_);
+  }
+  data_ = std::move(bigger);
 }
 
 void PacketBuilder::add_chunk(const ChunkHeader& h, const std::uint8_t* data) {
   assert((data != nullptr || h.chunk_len == 0) && "null data with bytes");
-  put<std::uint8_t>(buf_, static_cast<std::uint8_t>(h.kind));
-  put<std::uint64_t>(buf_, h.tag);
-  put<std::uint32_t>(buf_, h.msg_seq);
-  put<std::uint32_t>(buf_, h.offset);
-  put<std::uint32_t>(buf_, h.chunk_len);
-  put<std::uint32_t>(buf_, h.total_len);
-  put<std::uint64_t>(buf_, h.cookie);
-  if (h.chunk_len > 0) buf_.insert(buf_.end(), data, data + h.chunk_len);
-  ++count_;
+  add_chunk_begin(h);
+  gather(data, h.chunk_len);
 }
 
-std::vector<std::uint8_t> PacketBuilder::take() {
-  assert(count_ <= 0xFFFF);
-  buf_[0] = static_cast<std::uint8_t>(count_ & 0xFF);
-  buf_[1] = static_cast<std::uint8_t>(count_ >> 8);
-  std::vector<std::uint8_t> out = std::move(buf_);
-  buf_.clear();
-  count_ = 0;
-  put<std::uint16_t>(buf_, 0);
+void PacketBuilder::add_chunk_begin(const ChunkHeader& h) {
+  assert(gather_left_ == 0 && "previous chunk's gather still open");
+  put_header(h);
+  Seg seg;
+  seg.slab_off = static_cast<std::uint32_t>(data_used_);
+  seg.len = h.chunk_len;
+  segs_.push_back(seg);
+  gather_left_ = h.chunk_len;
+}
+
+void PacketBuilder::gather(const std::uint8_t* piece, std::size_t len) {
+  if (len == 0) return;
+  assert(len <= gather_left_ && "gather overruns the announced chunk_len");
+  if (data_used_ + len > data_.capacity()) grow_data(data_used_ + len);
+  std::memcpy(data_.data() + data_used_, piece, len);
+  data_used_ += len;
+  gather_left_ -= len;
+}
+
+void PacketBuilder::add_chunk_placed(const ChunkHeader& h) {
+  assert(gather_left_ == 0 && "previous chunk's gather still open");
+  put_header(h);
+  Seg seg;
+  seg.len = h.chunk_len;
+  seg.mode = SegMode::kPlaced;
+  segs_.push_back(seg);
+}
+
+void PacketBuilder::annotate_last(void* note) {
+  assert(!segs_.empty());
+  segs_.back().note = note;
+}
+
+net::Payload PacketBuilder::take() {
+  assert(gather_left_ == 0 && "take() with an open gather");
+  assert(segs_.size() <= 0xFFFF);
+  const std::size_t count = segs_.size();
+  hdr_[0] = static_cast<std::uint8_t>(count & 0xFF);
+  hdr_[1] = static_cast<std::uint8_t>(count >> 8);
+  net::SlabRef hdr = net::BufferPool::global().acquire(hdr_.size());
+  std::memcpy(hdr.data(), hdr_.data(), hdr_.size());
+
+  std::vector<net::PayloadView> views;
+  views.reserve(count);
+  for (const Seg& seg : segs_) {
+    net::PayloadView v;
+    v.len = seg.len;
+    v.note = seg.note;
+    if (seg.mode == SegMode::kPlaced) {
+      v.placed = true;
+    } else if (seg.len > 0) {
+      v.data = data_.data() + seg.slab_off;
+    }
+    views.push_back(v);
+  }
+  net::Payload out = net::Payload::segmented(
+      std::move(hdr), static_cast<std::uint32_t>(hdr_.size()),
+      std::move(data_), std::move(views));
+
+  hdr_.clear();
+  put<std::uint16_t>(hdr_, 0);
+  segs_.clear();
+  data_used_ = 0;
+  wire_size_ = 2;
   return out;
 }
 
+// --------------------------------------------------------------------------
+// PacketReader
+// --------------------------------------------------------------------------
+
 PacketReader::PacketReader(const std::vector<std::uint8_t>& payload)
-    : buf_(payload) {
+    : buf_(payload.data()), buf_len_(payload.size()) {
   std::uint16_t count = 0;
-  if (!get(buf_, pos_, &count)) {
+  if (!get(buf_, buf_len_, pos_, &count)) {
     ok_ = false;
     return;
   }
   remaining_ = count;
 }
 
-std::optional<ChunkHeader> PacketReader::next(const std::uint8_t** data_out) {
+PacketReader::PacketReader(const net::Payload& payload) {
+  if (payload.flat()) {
+    buf_ = payload.flat_bytes().data();
+    buf_len_ = payload.flat_bytes().size();
+  } else {
+    buf_ = payload.header_bytes();
+    buf_len_ = payload.header_len();
+    seg_payload_ = &payload;
+  }
+  std::uint16_t count = 0;
+  if (!get(buf_, buf_len_, pos_, &count)) {
+    ok_ = false;
+    return;
+  }
+  remaining_ = count;
+}
+
+std::optional<ChunkHeader> PacketReader::next(const std::uint8_t** data_out,
+                                              void** note_out) {
   if (!ok_ || remaining_ == 0) return std::nullopt;
   ChunkHeader h;
   std::uint8_t kind = 0;
-  if (!get(buf_, pos_, &kind) || !get(buf_, pos_, &h.tag) ||
-      !get(buf_, pos_, &h.msg_seq) || !get(buf_, pos_, &h.offset) ||
-      !get(buf_, pos_, &h.chunk_len) || !get(buf_, pos_, &h.total_len) ||
-      !get(buf_, pos_, &h.cookie)) {
+  if (!get(buf_, buf_len_, pos_, &kind) ||
+      !get(buf_, buf_len_, pos_, &h.tag) ||
+      !get(buf_, buf_len_, pos_, &h.msg_seq) ||
+      !get(buf_, buf_len_, pos_, &h.offset) ||
+      !get(buf_, buf_len_, pos_, &h.chunk_len) ||
+      !get(buf_, buf_len_, pos_, &h.total_len) ||
+      !get(buf_, buf_len_, pos_, &h.cookie)) {
     ok_ = false;
     return std::nullopt;
   }
   h.kind = static_cast<ChunkKind>(kind);
-  if (kind < 1 || kind > 4 || pos_ + h.chunk_len > buf_.size()) {
+  if (kind < 1 || kind > 4) {
     ok_ = false;
     return std::nullopt;
   }
-  *data_out = h.chunk_len > 0 ? buf_.data() + pos_ : nullptr;
-  pos_ += h.chunk_len;
+  if (note_out != nullptr) *note_out = nullptr;
+  if (seg_payload_ != nullptr) {
+    if (seg_index_ >= seg_payload_->segments()) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    const net::PayloadView& seg = seg_payload_->segment(seg_index_++);
+    if (seg.len != h.chunk_len) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    *data_out = seg.data;
+    if (note_out != nullptr) *note_out = seg.note;
+  } else {
+    if (pos_ + h.chunk_len > buf_len_) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    *data_out = h.chunk_len > 0 ? buf_ + pos_ : nullptr;
+    pos_ += h.chunk_len;
+  }
   --remaining_;
   return h;
 }

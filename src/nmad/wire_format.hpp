@@ -1,11 +1,12 @@
 // pm2sim -- on-the-wire format of NewMadeleine packets.
 //
 // A NIC packet payload carries one or more *chunks*, each with a fixed
-// binary header. Everything is serialized as real little-endian bytes: the
-// receive path decodes exactly what the send path encoded, as on real
-// hardware.
+// binary header. Headers are serialized as real little-endian bytes; chunk
+// data is carried as an iovec-style segment list alongside the header
+// region (net::Payload), one segment per chunk, so building a packet never
+// re-copies payload bytes that already live in a stable buffer.
 //
-// Layout:
+// Wire layout (what linearize() reproduces and flat packets carry):
 //   packet payload := u16 chunk_count, chunk*
 //   chunk          := ChunkHeader (37 bytes), data[chunk_len]
 //
@@ -16,7 +17,10 @@
 //   kRts     -- rendezvous request: announces (tag, msg_seq, total_len);
 //               cookie identifies the sender's request.
 //   kCts     -- rendezvous grant: echoes the cookie.
-//   kRdvData -- (a slice of) rendezvous bulk data, sent on trk 1.
+//   kRdvData -- (a slice of) rendezvous bulk data, sent on trk 1. When the
+//               receive buffer is already known (the CTS told the sender),
+//               the chunk is *placed*: it occupies wire bytes but carries
+//               no host bytes -- the modeled DMA landed them directly.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "nmad/types.hpp"
+#include "simnet/packet.hpp"
 
 namespace pm2::nm {
 
@@ -49,47 +54,88 @@ struct ChunkHeader {
   static constexpr std::size_t kWireSize = 1 + 8 + 4 + 4 + 4 + 4 + 8;
 };
 
-/// Incrementally builds a packet payload.
+/// Incrementally builds a packet payload. Chunk data is gathered once into
+/// a pooled slab (or marked placed, carrying no bytes); headers live in a
+/// reused header region. take() emits a segmented net::Payload.
 class PacketBuilder {
  public:
   PacketBuilder();
 
-  /// Append one chunk (header + data). @p data may be null iff len == 0.
+  /// Pre-size for @p chunks headers and @p data_bytes of gathered data
+  /// (growth hint; never required for correctness).
+  void reserve(std::size_t chunks, std::size_t data_bytes);
+
+  /// Append one chunk, gathering @p data (contiguous). @p data may be null
+  /// iff len == 0.
   void add_chunk(const ChunkHeader& h, const std::uint8_t* data);
 
-  std::size_t chunk_count() const { return count_; }
-  std::size_t payload_size() const { return buf_.size(); }
+  /// Append one chunk whose data arrives via gather() pieces (scatter/
+  /// gather sends). Exactly h.chunk_len bytes must follow.
+  void add_chunk_begin(const ChunkHeader& h);
+  void gather(const std::uint8_t* piece, std::size_t len);
+
+  /// Append one *placed* chunk: h.chunk_len wire bytes, no host bytes.
+  void add_chunk_placed(const ChunkHeader& h);
+
+  /// Attach a host-only annotation to the most recently added chunk.
+  void annotate_last(void* note);
+
+  std::size_t chunk_count() const { return segs_.size(); }
+  std::size_t payload_size() const { return wire_size_; }
 
   /// Size the payload would have after adding a chunk of @p data_len bytes.
   std::size_t size_with(std::size_t data_len) const {
-    return buf_.size() + ChunkHeader::kWireSize + data_len;
+    return wire_size_ + ChunkHeader::kWireSize + data_len;
   }
 
   /// Finalize and take the payload. The builder is reset for reuse.
-  std::vector<std::uint8_t> take();
+  net::Payload take();
 
  private:
-  std::vector<std::uint8_t> buf_;
-  std::size_t count_ = 0;
+  void put_header(const ChunkHeader& h);
+  void grow_data(std::size_t need);
+
+  enum class SegMode : std::uint8_t { kGathered, kPlaced };
+  struct Seg {
+    std::uint32_t slab_off = 0;  ///< into the data slab (kGathered)
+    std::uint32_t len = 0;
+    SegMode mode = SegMode::kGathered;
+    void* note = nullptr;
+  };
+
+  std::vector<std::uint8_t> hdr_;  ///< count slot + serialized headers
+  std::vector<Seg> segs_;
+  net::SlabRef data_;
+  std::size_t data_used_ = 0;
+  std::size_t wire_size_ = 2;
+  std::size_t gather_left_ = 0;  ///< bytes an open add_chunk_begin still expects
 };
 
-/// Decodes a packet payload chunk by chunk.
+/// Decodes a packet payload chunk by chunk. Works on both flat byte
+/// payloads (raw injection) and segmented ones.
 class PacketReader {
  public:
   explicit PacketReader(const std::vector<std::uint8_t>& payload);
+  explicit PacketReader(const net::Payload& payload);
 
   /// Chunks remaining.
   std::size_t remaining() const { return remaining_; }
 
   /// Read the next chunk. Returns nullopt (and poisons the reader) on a
-  /// malformed payload. @p data_out receives a pointer into the payload.
-  std::optional<ChunkHeader> next(const std::uint8_t** data_out);
+  /// malformed payload. @p data_out receives a pointer to the chunk data
+  /// (null for placed chunks); @p note_out, if given, the chunk's host
+  /// annotation.
+  std::optional<ChunkHeader> next(const std::uint8_t** data_out,
+                                  void** note_out = nullptr);
 
   /// True if the payload was well-formed so far.
   bool ok() const { return ok_; }
 
  private:
-  const std::vector<std::uint8_t>& buf_;
+  const std::uint8_t* buf_ = nullptr;  ///< flat bytes, or the header region
+  std::size_t buf_len_ = 0;
+  const net::Payload* seg_payload_ = nullptr;  ///< non-null in segmented mode
+  std::size_t seg_index_ = 0;
   std::size_t pos_ = 0;
   std::size_t remaining_ = 0;
   bool ok_ = true;

@@ -1,0 +1,97 @@
+// pm2sim -- process-wide slab pool backing wire and unexpected buffers.
+//
+// Every packet payload built by the transfer layer lives in a pooled slab
+// instead of a fresh std::vector: free slabs are kept on power-of-two
+// size-class free lists, so a steady-state message stream recycles the same
+// few allocations instead of hitting the host allocator per packet. Slabs
+// are reference-counted (SlabRef) because one slab can outlive its packet:
+// an unexpected-message store hands the slab off to the matching layer
+// rather than copying out of it.
+//
+// Host-side infrastructure only: acquiring or releasing a slab never
+// charges virtual time (the cost model prices the *copies*, which this pool
+// exists to eliminate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pm2::net {
+
+class BufferPool;
+
+/// Shared handle to one pooled slab. Copies share the slab; the slab
+/// returns to its pool's free list when the last handle drops. The
+/// simulator is single-host-threaded, so the refcount is plain.
+class SlabRef {
+ public:
+  SlabRef() = default;
+  ~SlabRef() { reset(); }
+  SlabRef(const SlabRef& o);
+  SlabRef& operator=(const SlabRef& o);
+  SlabRef(SlabRef&& o) noexcept : slab_(o.slab_) { o.slab_ = nullptr; }
+  SlabRef& operator=(SlabRef&& o) noexcept;
+
+  explicit operator bool() const { return slab_ != nullptr; }
+  std::uint8_t* data() const;
+  std::size_t capacity() const;
+
+  /// Drop this handle (the slab is recycled once unreferenced).
+  void reset();
+
+ private:
+  friend class BufferPool;
+  struct Slab;
+  explicit SlabRef(Slab* s) : slab_(s) {}
+  Slab* slab_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// The process-global pool (leaked singleton: slabs referenced from
+  /// static storage at exit must stay valid).
+  static BufferPool& global();
+
+  BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// A slab of at least @p size bytes (capacity is the size class, a power
+  /// of two >= 64). Reuses a free slab of the class when one exists.
+  SlabRef acquire(std::size_t size);
+
+  /// Release every cached free slab back to the host allocator.
+  void trim();
+
+  // Host-side reuse statistics (always counted; the registry counters with
+  // the same names only store while the registry is enabled).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t bytes_reused() const { return bytes_reused_; }
+  std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t idle_slabs() const;
+  std::size_t live_slabs() const { return live_slabs_; }
+
+ private:
+  friend class SlabRef;
+  void recycle(SlabRef::Slab* s);
+
+  std::vector<std::vector<SlabRef::Slab*>> free_;  ///< per size class
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t bytes_reused_ = 0;
+  std::uint64_t bytes_allocated_ = 0;
+  std::size_t live_slabs_ = 0;  ///< slabs currently referenced
+
+  obs::Counter m_hits_;
+  obs::Counter m_misses_;
+  obs::Counter m_bytes_reused_;
+  obs::Counter m_bytes_allocated_;
+};
+
+}  // namespace pm2::net

@@ -68,8 +68,7 @@ Nic::Nic(mach::Machine& machine, Fabric& fabric, NicParams params)
   m_rx_queue_depth_ = reg.gauge({"nic", node, -1, rail + ".rx_queue_depth"});
 }
 
-SendHandle Nic::post_send(int dst_port, Channel channel,
-                          std::vector<std::uint8_t> payload,
+SendHandle Nic::post_send(int dst_port, Channel channel, Payload payload,
                           std::function<void()> on_wire_done) {
   if (!tx_ready()) {
     throw std::logic_error("Nic::post_send: tx queue full (check tx_ready)");

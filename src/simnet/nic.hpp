@@ -106,9 +106,16 @@ class Nic {
   /// execution context (if any). Pre: tx_ready().
   /// @p on_wire_done, if given, fires (in engine context) once the wire has
   /// absorbed the packet -- the moment the sender's buffer is reusable.
+  SendHandle post_send(int dst_port, Channel channel, Payload payload,
+                       std::function<void()> on_wire_done = nullptr);
+
+  /// Convenience overload: raw flat bytes (tests, fault injection).
   SendHandle post_send(int dst_port, Channel channel,
                        std::vector<std::uint8_t> payload,
-                       std::function<void()> on_wire_done = nullptr);
+                       std::function<void()> on_wire_done = nullptr) {
+    return post_send(dst_port, channel, Payload(std::move(payload)),
+                     std::move(on_wire_done));
+  }
 
   /// Notifier invoked (in engine context) whenever a tx slot frees up.
   void set_tx_notifier(std::function<void()> fn) { tx_notifier_ = std::move(fn); }

@@ -1,0 +1,101 @@
+#include "simnet/packet.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pm2::net {
+
+Payload::Payload(std::vector<std::uint8_t> flat) : rep_(new Rep()) {
+  rep_->flat_mode = true;
+  rep_->wire_size = flat.size();
+  rep_->flat = std::move(flat);
+}
+
+Payload::~Payload() = default;
+
+Payload::Payload(const Payload& o)
+    : rep_(o.rep_ ? new Rep(*o.rep_) : nullptr) {}
+
+Payload& Payload::operator=(const Payload& o) {
+  if (this != &o) rep_.reset(o.rep_ ? new Rep(*o.rep_) : nullptr);
+  return *this;
+}
+
+Payload Payload::segmented(SlabRef hdr, std::uint32_t hdr_len, SlabRef data,
+                           std::vector<PayloadView> segs) {
+  Payload p;
+  p.rep_.reset(new Rep());
+  p.rep_->flat_mode = false;
+  p.rep_->hdr = std::move(hdr);
+  p.rep_->hdr_len = hdr_len;
+  p.rep_->data = std::move(data);
+  std::size_t total = hdr_len;
+  for (const auto& s : segs) total += s.len;
+  p.rep_->wire_size = total;
+  p.rep_->segs = std::move(segs);
+  return p;
+}
+
+const std::vector<std::uint8_t>& Payload::flat_bytes() const {
+  static const std::vector<std::uint8_t> kEmpty;
+  return rep_ ? rep_->flat : kEmpty;
+}
+
+const std::uint8_t* Payload::header_bytes() const {
+  assert(rep_ && !rep_->flat_mode);
+  return rep_->hdr.data();
+}
+
+std::size_t Payload::header_len() const {
+  return rep_ && !rep_->flat_mode ? rep_->hdr_len : 0;
+}
+
+std::size_t Payload::segments() const {
+  return rep_ && !rep_->flat_mode ? rep_->segs.size() : 0;
+}
+
+const PayloadView& Payload::segment(std::size_t i) const {
+  assert(rep_ && !rep_->flat_mode);
+  return rep_->segs.at(i);
+}
+
+const SlabRef* Payload::data_slab() const {
+  if (rep_ == nullptr || rep_->flat_mode || !rep_->data) return nullptr;
+  return &rep_->data;
+}
+
+std::vector<std::uint8_t> Payload::linearize() const {
+  if (flat()) return flat_bytes();
+  std::vector<std::uint8_t> out;
+  out.reserve(size());
+  const std::uint8_t* hdr = rep_->hdr.data();
+  const std::size_t n = rep_->segs.size();
+  // The header region is the framing prefix followed by one fixed-size
+  // header per segment; interleave them back with their data.
+  const std::size_t stride = n > 0 ? (rep_->hdr_len - 2) / n : 0;
+  out.insert(out.end(), hdr, hdr + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* h = hdr + 2 + i * stride;
+    out.insert(out.end(), h, h + stride);
+    const PayloadView& s = rep_->segs[i];
+    if (s.data != nullptr) {
+      out.insert(out.end(), s.data, s.data + s.len);
+    } else {
+      out.insert(out.end(), s.len, std::uint8_t{0});
+    }
+  }
+  return out;
+}
+
+std::uint8_t Payload::operator[](std::size_t i) const {
+  if (flat()) return rep_->flat.at(i);
+  return linearize().at(i);
+}
+
+bool operator==(const Payload& p, const std::vector<std::uint8_t>& bytes) {
+  if (p.size() != bytes.size()) return false;
+  if (p.flat()) return p.flat_bytes() == bytes;
+  return p.linearize() == bytes;
+}
+
+}  // namespace pm2::net

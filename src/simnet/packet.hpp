@@ -1,11 +1,23 @@
-// pm2sim -- the unit the fabric moves: an opaque byte payload plus minimal
-// link-level framing. All higher-level structure (NewMadeleine headers,
-// aggregated sub-messages, rendezvous control) lives inside the payload,
-// serialized as real bytes, exactly as on a real NIC.
+// pm2sim -- the unit the fabric moves: a payload plus minimal link-level
+// framing. All higher-level structure (NewMadeleine headers, aggregated
+// sub-messages, rendezvous control) lives inside the payload.
+//
+// A payload has two representations:
+//   * flat      -- one owned byte vector, exactly the wire bytes (raw
+//                  injection, legacy tests);
+//   * segmented -- a pool-owned header region plus an iovec-style segment
+//                  list: gathered segments point into a pool-owned data
+//                  slab; *placed* segments carry no bytes at all (the data
+//                  already landed in the receiver's buffer via the modeled
+//                  RDMA/DMA placement) but still count toward the wire
+//                  size, so timing is byte-identical to a copying path.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "simnet/buffer_pool.hpp"
 
 namespace pm2::net {
 
@@ -13,12 +25,77 @@ namespace pm2::net {
 /// (trk0 = small/control, trk1 = bulk) on one NIC.
 using Channel = std::uint8_t;
 
+/// One data segment of a segmented payload (one per chunk).
+struct PayloadView {
+  const std::uint8_t* data = nullptr;  ///< null iff len == 0 or placed
+  std::uint32_t len = 0;               ///< wire bytes this segment represents
+  bool placed = false;  ///< bytes already landed via modeled placement
+  void* note = nullptr; ///< host-only annotation (never wire bytes)
+};
+
+class Payload {
+ public:
+  Payload() = default;
+  /// Flat payload: exactly these wire bytes. Explicit so braced byte lists
+  /// keep selecting std::vector overloads.
+  explicit Payload(std::vector<std::uint8_t> flat);
+  ~Payload();
+
+  Payload(Payload&&) noexcept = default;
+  Payload& operator=(Payload&&) noexcept = default;
+  Payload(const Payload& o);
+  Payload& operator=(const Payload& o);
+
+  /// Segmented payload (wire-format builder): @p hdr_len bytes of framing
+  /// in @p hdr, then one PayloadView per chunk.
+  static Payload segmented(SlabRef hdr, std::uint32_t hdr_len, SlabRef data,
+                           std::vector<PayloadView> segs);
+
+  /// Wire size in bytes (placed segments included: they occupy the wire).
+  std::size_t size() const { return rep_ ? rep_->wire_size : 0; }
+
+  bool flat() const { return rep_ == nullptr || rep_->flat_mode; }
+  const std::vector<std::uint8_t>& flat_bytes() const;
+
+  const std::uint8_t* header_bytes() const;
+  std::size_t header_len() const;
+  std::size_t segments() const;
+  const PayloadView& segment(std::size_t i) const;
+  /// The slab backing gathered segments (null for flat payloads); shared by
+  /// the unexpected-message store to hand bytes off without copying.
+  const SlabRef* data_slab() const;
+
+  /// Serialize to the flat wire layout (headers interleaved with data;
+  /// placed segments render as zeros). Diagnostics/tests only.
+  std::vector<std::uint8_t> linearize() const;
+
+  /// Byte @p i of the flat wire layout (O(size) for segmented payloads;
+  /// tests only).
+  std::uint8_t operator[](std::size_t i) const;
+
+ private:
+  struct Rep {
+    bool flat_mode = true;
+    std::size_t wire_size = 0;
+    std::vector<std::uint8_t> flat;
+    SlabRef hdr;
+    std::uint32_t hdr_len = 0;
+    SlabRef data;
+    std::vector<PayloadView> segs;
+  };
+  /// Single pointer so Packet stays small enough for the engine's inline
+  /// event closures (Fabric::deliver_at captures a whole Packet).
+  std::unique_ptr<Rep> rep_;
+};
+
+bool operator==(const Payload& p, const std::vector<std::uint8_t>& bytes);
+
 struct Packet {
   int src_port = -1;
   int dst_port = -1;
   Channel channel = 0;
   std::uint64_t seq = 0;  ///< per-NIC monotonic sequence (diagnostics)
-  std::vector<std::uint8_t> payload;
+  Payload payload;
 
   std::size_t size() const { return payload.size(); }
 };

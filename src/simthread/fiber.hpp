@@ -1,4 +1,4 @@
-// pm2sim -- stackful coroutines (fibers) over POSIX ucontext.
+// pm2sim -- stackful coroutines (fibers).
 //
 // Every simulated thread body runs on its own fiber so that benchmark and
 // application code can be written as ordinary sequential C++ (loops, RAII,
@@ -6,15 +6,63 @@
 // dictates. Only the engine/scheduler context ever resumes a fiber, and a
 // fiber never resumes another fiber, so the switch discipline is strictly
 // two-level.
+//
+// Two switch backends share one interface:
+//   * x86-64 assembly (default on __x86_64__): saves/restores only the
+//     SysV callee-saved registers plus the FP control words -- no syscall.
+//     The ucontext path's swapcontext() performs a rt_sigprocmask syscall
+//     per switch, which dominates the host cost of charge()-heavy
+//     workloads (every virtual-time charge is a suspend/resume pair).
+//   * POSIX ucontext fallback: used on other architectures and under
+//     AddressSanitizer (ASan interposes swapcontext to track stack
+//     switches; a raw assembly switch would confuse its shadow stack).
 #pragma once
-
-#include <ucontext.h>
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 
 #include "simthread/stack_pool.hpp"
+
+#if !defined(PM2SIM_FIBER_ASM)
+#if defined(__x86_64__) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(PM2SIM_FIBER_UCONTEXT)
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PM2SIM_FIBER_ASM 0
+#else
+#define PM2SIM_FIBER_ASM 1
+#endif
+#else
+#define PM2SIM_FIBER_ASM 1
+#endif
+#else
+#define PM2SIM_FIBER_ASM 0
+#endif
+#endif
+
+#if !PM2SIM_FIBER_ASM
+#include <ucontext.h>
+#endif
+
+// Under AddressSanitizer the ucontext backend additionally annotates every
+// switch with __sanitizer_{start,finish}_switch_fiber so ASan tracks the
+// live stack. Without this, throwing an exception on a fiber stack makes
+// __asan_handle_no_return unpoison using the *thread's* stack bounds and
+// report a bogus stack-buffer-overflow (google/sanitizers#189).
+#if !defined(PM2SIM_FIBER_ASAN)
+#if defined(__SANITIZE_ADDRESS__)
+#define PM2SIM_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PM2SIM_FIBER_ASAN 1
+#else
+#define PM2SIM_FIBER_ASAN 0
+#endif
+#else
+#define PM2SIM_FIBER_ASAN 0
+#endif
+#endif
 
 namespace pm2::mth {
 
@@ -51,13 +99,26 @@ class Fiber {
   static Fiber* current() { return current_; }
 
  private:
-  static void trampoline(unsigned hi, unsigned lo);
   void run_body();
 
   std::function<void()> body_;
   StackPool::Stack stack_;
+#if PM2SIM_FIBER_ASM
+  friend void fiber_run_trampoline(Fiber* f);
+  void prepare_stack();
+  void* fiber_sp_ = nullptr;   ///< saved stack pointer of the fiber context
+  void* return_sp_ = nullptr;  ///< saved stack pointer of the resumer
+#else
+  static void trampoline(unsigned hi, unsigned lo);
   ucontext_t ctx_{};
   ucontext_t return_ctx_{};
+#if PM2SIM_FIBER_ASAN
+  void* resumer_fake_ = nullptr;  ///< ASan fake stack saved by resume()
+  void* fiber_fake_ = nullptr;    ///< ASan fake stack saved by suspend()
+  const void* return_stack_bottom_ = nullptr;  ///< resumer's stack, for
+  std::size_t return_stack_size_ = 0;          ///< switching back out
+#endif
+#endif
   bool started_ = false;
   bool finished_ = false;
   bool active_ = false;

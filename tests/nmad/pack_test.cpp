@@ -41,22 +41,24 @@ TEST(Pack, GatherScatterRoundTrip) {
   world.run();
 }
 
-TEST(Pack, BuilderBufferOutlivesCallerSegments) {
-  // The caller's segments go out of scope right after isend: the request's
-  // owned staging buffer must keep the bytes alive (rendezvous-sized).
+TEST(Pack, BuilderMayDieBeforeCompletion) {
+  // Zero-copy contract: pack() records references, so the *builder* may be
+  // destroyed right after isend while the caller's segments stay alive
+  // until completion (rendezvous-sized to stress the placed path).
   nm::ClusterConfig cfg;
   nm::Cluster world(cfg);
   constexpr std::size_t kBig = 80 * 1024;
   world.spawn(0, [&world] {
     nm::Core& c = world.core(0);
+    std::vector<std::uint8_t> part1(kBig / 2, 0xA1);
+    std::vector<std::uint8_t> part2(kBig / 2, 0xB2);
     Request* req = nullptr;
     {
-      std::vector<std::uint8_t> part1(kBig / 2, 0xA1);
-      std::vector<std::uint8_t> part2(kBig / 2, 0xB2);
       PackBuilder pk(c);
+      pk.reserve(2);
       pk.pack(part1.data(), part1.size()).pack(part2.data(), part2.size());
       req = pk.isend(world.gate(0, 1), 5);
-      // parts destroyed here, before the rendezvous completes
+      // builder destroyed here, before the rendezvous completes
     }
     c.wait(req);
     c.release(req);

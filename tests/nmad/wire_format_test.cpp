@@ -88,6 +88,23 @@ TEST(WireFormat, BuilderIsReusableAfterTake) {
   EXPECT_GT(first.size(), second.size());
 }
 
+TEST(WireFormat, ReserveDoesNotChangeTheWire) {
+  PacketBuilder plain;
+  PacketBuilder hinted;
+  hinted.reserve(3, 64);
+  const std::uint8_t data[16] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ChunkHeader h;
+    h.kind = ChunkKind::kEager;
+    h.tag = i;
+    h.chunk_len = 16;
+    plain.add_chunk(h, data);
+    hinted.add_chunk(h, data);
+  }
+  EXPECT_EQ(plain.payload_size(), hinted.payload_size());
+  EXPECT_EQ(plain.take().linearize(), hinted.take().linearize());
+}
+
 TEST(WireFormat, SizeWithPredictsGrowth) {
   PacketBuilder b;
   const std::size_t predicted = b.size_with(10);
@@ -104,9 +121,9 @@ TEST(WireFormat, TruncatedPayloadRejected) {
   ChunkHeader h;
   h.chunk_len = 4;
   b.add_chunk(h, data);
-  auto payload = b.take();
-  payload.resize(payload.size() - 3);  // chop the tail
-  PacketReader r(payload);
+  std::vector<std::uint8_t> bytes = b.take().linearize();
+  bytes.resize(bytes.size() - 3);  // chop the tail
+  PacketReader r(bytes);
   const std::uint8_t* out = nullptr;
   EXPECT_FALSE(r.next(&out).has_value());
   EXPECT_FALSE(r.ok());
@@ -117,9 +134,9 @@ TEST(WireFormat, BadKindRejected) {
   ChunkHeader h;
   h.chunk_len = 0;
   b.add_chunk(h, nullptr);
-  auto payload = b.take();
-  payload[2] = 0x7F;  // corrupt the kind byte of the first chunk
-  PacketReader r(payload);
+  std::vector<std::uint8_t> bytes = b.take().linearize();
+  bytes[2] = 0x7F;  // corrupt the kind byte of the first chunk
+  PacketReader r(bytes);
   const std::uint8_t* out = nullptr;
   EXPECT_FALSE(r.next(&out).has_value());
   EXPECT_FALSE(r.ok());

@@ -1,0 +1,102 @@
+#include "simnet/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pm2::net {
+namespace {
+
+TEST(BufferPool, AcquireRoundsUpToPowerOfTwoClass) {
+  BufferPool pool;
+  EXPECT_EQ(pool.acquire(1).capacity(), 64u);    // floor class
+  EXPECT_EQ(pool.acquire(64).capacity(), 64u);
+  EXPECT_EQ(pool.acquire(65).capacity(), 128u);
+  EXPECT_EQ(pool.acquire(4096).capacity(), 4096u);
+  EXPECT_EQ(pool.acquire(4097).capacity(), 8192u);
+}
+
+TEST(BufferPool, ReleasedSlabIsReused) {
+  BufferPool pool;
+  std::uint8_t* first = nullptr;
+  {
+    SlabRef s = pool.acquire(1000);
+    first = s.data();
+    ASSERT_NE(first, nullptr);
+  }
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.idle_slabs(), 1u);
+  SlabRef again = pool.acquire(600);  // same 1024 class
+  EXPECT_EQ(again.data(), first);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.bytes_reused(), 1024u);
+  EXPECT_EQ(pool.idle_slabs(), 0u);
+}
+
+TEST(BufferPool, CopiesShareTheSlabUntilLastRefDrops) {
+  BufferPool pool;
+  SlabRef a = pool.acquire(128);
+  std::memset(a.data(), 0x5A, 128);
+  SlabRef b = a;  // shared
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_EQ(pool.live_slabs(), 1u);
+  a.reset();
+  EXPECT_EQ(pool.idle_slabs(), 0u);  // b still holds it
+  EXPECT_EQ(b.data()[7], 0x5A);
+  b.reset();
+  EXPECT_EQ(pool.idle_slabs(), 1u);
+  EXPECT_EQ(pool.live_slabs(), 0u);
+}
+
+TEST(BufferPool, MoveTransfersOwnership) {
+  BufferPool pool;
+  SlabRef a = pool.acquire(64);
+  std::uint8_t* p = a.data();
+  SlabRef b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(pool.live_slabs(), 1u);
+}
+
+TEST(BufferPool, TrimReleasesIdleSlabs) {
+  BufferPool pool;
+  pool.acquire(100);
+  pool.acquire(5000);
+  EXPECT_EQ(pool.idle_slabs(), 2u);
+  pool.trim();
+  EXPECT_EQ(pool.idle_slabs(), 0u);
+  // A fresh acquire after trim is a miss again.
+  pool.acquire(100);
+  EXPECT_EQ(pool.misses(), 3u);
+}
+
+TEST(BufferPool, DistinctClassesDoNotMix) {
+  BufferPool pool;
+  { SlabRef s = pool.acquire(64); }
+  SlabRef big = pool.acquire(8192);  // must not reuse the 64-byte slab
+  EXPECT_GE(big.capacity(), 8192u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPool, GlobalPoolRegistersReuseCounters) {
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::uint64_t h0 =
+      reg.counter_value("pool", "", "hits").value_or(0);
+  const std::uint64_t m0 =
+      reg.counter_value("pool", "", "misses").value_or(0);
+  BufferPool& pool = BufferPool::global();
+  { SlabRef s = pool.acquire(777); }
+  SlabRef s2 = pool.acquire(777);
+  const auto h1 = reg.counter_value("pool", "", "hits");
+  const auto m1 = reg.counter_value("pool", "", "misses");
+  ASSERT_TRUE(h1.has_value());
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_GE(*h1, h0 + 1);  // the second acquire reused the first slab
+  EXPECT_GE(*m1, m0);
+  reg.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace pm2::net
