@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# One-command pre-merge gate: build + tests + sanitizers + lint + simsan
+# selfcheck, in that order (fastest signal first, most expensive last).
+#
+#   1. regular build + full ctest suite        (./build)
+#   2. simsan selfcheck + fig3 analysis check   (same tree; seeded racy /
+#      deadlocky scenarios must be caught, kNone must race, kCoarse clean)
+#   3. clang-tidy lint                          (skips if not installed)
+#   4. ASan/UBSan + TSan suites                 (separate build trees)
+#
+# Usage: bench/check_all.sh [build-dir]   (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+echo "== [1/4] build + ctest =="
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" -j"$(nproc)" --output-on-failure
+
+echo "== [2/4] simsan selfcheck =="
+ctest --test-dir "$build_dir" -R simsan_selfcheck --output-on-failure
+"$build_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on > /dev/null
+
+echo "== [3/4] lint =="
+"$repo_root"/bench/check_lint.sh
+
+echo "== [4/4] sanitizers =="
+"$repo_root"/bench/check_sanitize.sh
+
+echo "check_all: all gates clean"

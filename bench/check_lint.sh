@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over the library and
+# bench sources and fail on any warning. WarningsAsErrors is '*' in the
+# config, so a clean exit means a clean tree -- "no new warnings" falls out
+# of keeping the baseline at zero.
+#
+# Skips with success when clang-tidy is not installed (minimal CI images):
+# the lint gate is advisory where the tool is missing, never a build break.
+#
+# Usage: bench/check_lint.sh [build-dir]   (default: ./build-lint)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-lint"}
+
+tidy=""
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    tidy=$cand
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "check_lint: clang-tidy not found; skipping lint (install clang-tidy to enable)"
+  exit 0
+fi
+
+# clang-tidy drives off the compilation database.
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+
+# Library + bench translation units; tests are gtest-macro-heavy and would
+# drown the signal.
+files=$(find "$repo_root/src" "$repo_root/bench" -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+  "$tidy" -p "$build_dir" --quiet "$f" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_lint: clang-tidy reported warnings (see above)"
+  exit 1
+fi
+echo "lint clean ($tidy)"

@@ -1,24 +1,39 @@
 #!/usr/bin/env sh
-# Build and run the tier-1 test suite under AddressSanitizer + UBSan.
+# Build and run the tier-1 test suite under AddressSanitizer + UBSan, then
+# again under ThreadSanitizer.
 #
 # The zero-copy data path hands pooled slabs across layers (strategy ->
-# NIC -> matching -> adoption) by reference; this is the memory-safety
-# gate for that plumbing. Uses a separate build tree so the regular build
-# stays untouched.
+# NIC -> matching -> adoption) by reference; ASan/UBSan is the memory-safety
+# gate for that plumbing. The TSan pass exercises the ucontext fiber
+# backend with TSan's fiber annotations (PM2SIM_SANITIZE=tsan forces it):
+# the simulator is single-host-threaded, so a clean run certifies the
+# fiber-switch bookkeeping, not application-level locking -- that is what
+# simsan (src/simsan/) analyzes. Separate build trees keep the regular
+# build untouched.
 #
-# Usage: bench/check_sanitize.sh [build-dir]   (default: ./build-asan)
+# Usage: bench/check_sanitize.sh [asan-build-dir [tsan-build-dir]]
+#        (defaults: ./build-asan ./build-tsan)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-asan"}
+asan_dir=${1:-"$repo_root/build-asan"}
+tsan_dir=${2:-"$repo_root/build-tsan"}
 
-cmake -S "$repo_root" -B "$build_dir" \
+cmake -S "$repo_root" -B "$asan_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPM2SIM_SANITIZE=address,undefined
-cmake --build "$build_dir" -j"$(nproc)"
+cmake --build "$asan_dir" -j"$(nproc)"
 
 # halt_on_error so UBSan failures are fatal, not just log lines.
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
-  ctest --test-dir "$build_dir" -j"$(nproc)" --output-on-failure
+  ctest --test-dir "$asan_dir" -j"$(nproc)" --output-on-failure
 
-echo "sanitizer suite clean"
+cmake -S "$repo_root" -B "$tsan_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPM2SIM_SANITIZE=tsan
+cmake --build "$tsan_dir" -j"$(nproc)"
+
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$tsan_dir" -j"$(nproc)" --output-on-failure
+
+echo "sanitizer suite clean (asan+ubsan, tsan)"

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "simcore/stats.hpp"
+#include "simsan/simsan.hpp"
 
 namespace pm2::bench {
 
@@ -214,11 +215,82 @@ BenchArgs parse_args(int argc, char** argv) {
       args.csv = a + 6;
     } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
       args.metrics_out = a + 14;
+    } else if (std::strncmp(a, "--simsan=", 9) == 0) {
+      const char* v = a + 9;
+      args.simsan = std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", a);
     }
   }
   return args;
+}
+
+std::size_t run_simsan_report(const BenchArgs& args, const std::string& label,
+                              const nm::ClusterConfig& cfg) {
+  if (!args.simsan) return 0;
+
+  auto& an = san::Analyzer::global();
+  constexpr std::size_t kSize = 64;
+  constexpr int kIters = 50;
+  constexpr int kStreams = 2;
+  // Both streams share core 0 on each node. A thread that is paying for
+  // virtual time keeps its core, so same-core threads only interleave at
+  // scheduling boundaries -- which keeps the *host* data structures intact
+  // even under LockMode::kNone, while the accesses of the two streams stay
+  // unordered by happens-before (a context switch is not synchronization)
+  // and the analyzer still proves the race.
+  constexpr int kAppCore = 0;
+  {
+    nm::Cluster world(cfg);
+    world.enable_simsan();
+    const bool poll_threads = cfg.nm.progress == nm::ProgressMode::kPollThread;
+    if (poll_threads) {
+      world.core(0).start_poll_thread();
+      world.core(1).start_poll_thread();
+    }
+    // Host-side bookkeeping (single host thread, no sim state): the last
+    // stream to finish on each node stops that node's poll thread.
+    int remaining[2] = {kStreams, kStreams};
+
+    for (int s = 0; s < kStreams; ++s) {
+      const nm::Tag tag_ping = 1000 + static_cast<nm::Tag>(s);
+      const nm::Tag tag_pong = 2000 + static_cast<nm::Tag>(s);
+
+      world.spawn(0, [&world, &remaining, s, tag_ping, tag_pong,
+                      poll_threads] {
+        nm::Core& c = world.core(0);
+        nm::Gate* g = world.gate(0, 1);
+        auto msg = make_pattern(kSize, static_cast<std::uint8_t>(s));
+        std::vector<std::uint8_t> back(kSize);
+        for (int i = 0; i < kIters; ++i) {
+          c.send(g, tag_ping, msg.data(), msg.size());
+          c.recv(g, tag_pong, back.data(), back.size());
+        }
+        if (poll_threads && --remaining[0] == 0) {
+          world.core(0).stop_poll_thread();
+        }
+      }, "ping" + std::to_string(s), kAppCore);
+
+      world.spawn(1, [&world, &remaining, s, tag_ping, tag_pong,
+                      poll_threads] {
+        nm::Core& c = world.core(1);
+        nm::Gate* g = world.gate(1, 0);
+        std::vector<std::uint8_t> buf(kSize);
+        for (int i = 0; i < kIters; ++i) {
+          c.recv(g, tag_ping, buf.data(), buf.size());
+          c.send(g, tag_pong, buf.data(), buf.size());
+        }
+        if (poll_threads && --remaining[1] == 0) {
+          world.core(1).stop_poll_thread();
+        }
+      }, "pong" + std::to_string(s), kAppCore);
+    }
+
+    world.run();
+    std::printf("\n== simsan [%s] ==\n", label.c_str());
+    an.print_report(stdout);
+  }  // ~Cluster disables the analyzer; findings stay readable
+  return an.total_findings();
 }
 
 void write_metrics_report(const BenchArgs& args, const nm::ClusterConfig& cfg) {

@@ -57,7 +57,7 @@ void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
                const std::vector<Series>& series);
 
 /// Tiny argv parser shared by the figure benches: recognizes
-/// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH.
+/// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH, --simsan=on|off.
 struct BenchArgs {
   int iters = 200;
   int warmup = 20;
@@ -66,8 +66,22 @@ struct BenchArgs {
   /// metrics + flow-stage report (JSON) here, plus a Perfetto timeline with
   /// send->recv flow arrows at <PATH>.trace.json.
   std::string metrics_out;
+  /// --simsan=on: after the sweep, run a concurrency-analysis pingpong per
+  /// configuration and print the simsan report. Off by default; the figure
+  /// sweeps themselves always run unanalyzed, so CSV output is identical
+  /// either way.
+  bool simsan = false;
 };
 BenchArgs parse_args(int argc, char** argv);
+
+/// Honour --simsan=on: run a two-stream blocking pingpong on @p cfg under
+/// the simsan analyzer (a separate world, after the sweep) and print the
+/// findings report to stdout. Two streams sharing each node's gate is the
+/// smallest workload where LockMode::kNone provably races on the collect
+/// and matching lists. No-op when args.simsan is false. Returns the number
+/// of findings (0 when disabled).
+std::size_t run_simsan_report(const BenchArgs& args, const std::string& label,
+                              const nm::ClusterConfig& cfg);
 
 /// Honour --metrics-out: enable the metrics registry, run a short pingpong
 /// on @p cfg with flow tracing and timeline recording, write the combined

@@ -51,6 +51,19 @@ int main(int argc, char** argv) {
 
   bench::write_csv(args.csv, sizes, series);
 
+  // --simsan=on: concurrency analysis of each locking mode on a two-stream
+  // workload. The unlocked baseline provably races on the collect/matching
+  // lists; both locked modes must come back clean.
+  for (const Cfg& c : {Cfg{"no locking", nm::LockMode::kNone},
+                       Cfg{"coarse-grain", nm::LockMode::kCoarse},
+                       Cfg{"fine-grain", nm::LockMode::kFine}}) {
+    nm::ClusterConfig cfg;
+    cfg.nm.lock = c.lock;
+    cfg.nm.wait = nm::WaitMode::kBusy;
+    cfg.nm.progress = nm::ProgressMode::kAppDriven;
+    bench::run_simsan_report(args, c.label, cfg);
+  }
+
   // --metrics-out: instrumented run on the coarse-grain configuration.
   nm::ClusterConfig mcfg;
   mcfg.nm.lock = nm::LockMode::kCoarse;

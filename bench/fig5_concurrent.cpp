@@ -61,6 +61,11 @@ int main(int argc, char** argv) {
 
   bench::write_csv(args.csv, sizes, series);
 
+  // --simsan=on: both locked configurations must analyze clean on the
+  // concurrent workload this figure is about.
+  bench::run_simsan_report(args, "fine x2", fine);
+  bench::run_simsan_report(args, "coarse x2", coarse);
+
   // --metrics-out: instrumented run on the fine-grain configuration.
   bench::write_metrics_report(args, fine);
   return 0;

@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
   mcfg.nm.wait = nm::WaitMode::kPassive;
   mcfg.nm.progress = nm::ProgressMode::kPiomanHooks;
   mcfg.pioman_poll_core = 0;
+  // --simsan=on: concurrency analysis on the same configuration.
+  bench::run_simsan_report(args, "representative", mcfg);
   bench::write_metrics_report(args, mcfg);
   return 0;
 }

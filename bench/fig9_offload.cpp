@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
   mcfg.nm.wait = nm::WaitMode::kBusy;
   mcfg.nm.progress = nm::ProgressMode::kTaskletOffload;
   mcfg.nm.poll_core = 1;
+  // --simsan=on: concurrency analysis on the same configuration.
+  bench::run_simsan_report(args, "representative", mcfg);
   bench::write_metrics_report(args, mcfg);
   return 0;
 }

@@ -191,6 +191,39 @@ void BM_PingpongEndToEndMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_PingpongEndToEndMetrics)->Unit(benchmark::kMillisecond);
 
+void BM_PingpongEndToEndSimsan(benchmark::State& state) {
+  // Same workload with the concurrency analyzer on: the spread against
+  // BM_PingpongEndToEnd is the cost of the lockset/vector-clock analysis
+  // (ctest `simsan_overhead` asserts it stays under 10%).
+  const std::size_t kIters = 64;
+  for (auto _ : state) {
+    nm::ClusterConfig cfg;
+    nm::Cluster world(cfg);
+    world.enable_simsan();
+    world.spawn(0, [&world] {
+      auto& c = world.core(0);
+      auto* g = world.gate(0, 1);
+      std::vector<std::uint8_t> m(64), b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.send(g, 1, m.data(), m.size());
+        c.recv(g, 2, b.data(), b.size());
+      }
+    });
+    world.spawn(1, [&world] {
+      auto& c = world.core(1);
+      auto* g = world.gate(1, 0);
+      std::vector<std::uint8_t> b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.recv(g, 1, b.data(), b.size());
+        c.send(g, 2, b.data(), b.size());
+      }
+    });
+    world.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kIters);
+}
+BENCHMARK(BM_PingpongEndToEndSimsan)->Unit(benchmark::kMillisecond);
+
 void BM_LargeMessageBandwidth(benchmark::State& state) {
   // Host cost of the bulk data path: stream rendezvous-size messages with a
   // window of outstanding sends. items/s = messages/s of host (wall-clock)

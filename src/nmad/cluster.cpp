@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simsan/simsan.hpp"
+
 namespace pm2::nm {
 
 Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
@@ -52,7 +54,24 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (simsan_owner_) {
+    // The now-fn captures this cluster's engine; detach before it dangles.
+    // Findings stay readable (set_enabled(false) does not clear them).
+    auto& an = san::Analyzer::global();
+    an.set_enabled(false);
+    an.set_now_fn(nullptr);
+  }
+}
+
+void Cluster::enable_simsan() {
+  auto& an = san::Analyzer::global();
+  an.reset();
+  an.set_now_fn(
+      [this] { return static_cast<std::uint64_t>(engine_.now()); });
+  an.set_enabled(true);
+  simsan_owner_ = true;
+}
 
 sim::ChromeTrace& Cluster::enable_timeline() {
   if (!timeline_) {

@@ -84,6 +84,14 @@ class Cluster {
 
   obs::FlowTracer* flow_trace() { return flow_.get(); }
 
+  /// Start a fresh simsan analysis run over this world: resets the global
+  /// analyzer, routes report timestamps to this cluster's virtual clock and
+  /// enables all event taps. Findings accumulate in san::Analyzer::global()
+  /// (and in the "simsan" metrics-registry counters) until the next
+  /// enable/reset. The analyzer is process-global: analyze one world at a
+  /// time. Disabled again when this cluster is destroyed.
+  void enable_simsan();
+
  private:
   struct Node {
     std::unique_ptr<mach::Machine> machine;
@@ -100,6 +108,7 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<sim::ChromeTrace> timeline_;
   std::unique_ptr<obs::FlowTracer> flow_;
+  bool simsan_owner_ = false;  ///< we enabled the analyzer; detach in dtor
 };
 
 }  // namespace pm2::nm

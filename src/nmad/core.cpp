@@ -8,6 +8,7 @@
 
 #include "obs/flow.hpp"
 #include "simcore/trace.hpp"
+#include "simsan/context.hpp"
 
 namespace pm2::nm {
 
@@ -50,6 +51,7 @@ Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
   m_placed_bytes_ = reg.counter({"nmad", node, -1, "data.placed_bytes"});
   m_copies_per_msg_ = reg.histogram({"nmad", node, -1, "data.copies_per_msg"});
   src_to_gate_.resize(kMaxRails);
+  san_deferred_.set_name(name_ + ".deferred");
   submit_tasklet_ = std::make_unique<piom::Tasklet>(
       [this](mth::HookContext& hctx) {
         progress_try(hctx, /*submission_only=*/true);
@@ -69,6 +71,7 @@ Driver& Core::add_rail(net::Nic& nic) {
   drivers_.push_back(std::make_unique<Driver>(nic, index));
   Driver* d = drivers_.back().get();
   rail_ptrs_.push_back(d);
+  d->san_xfer().set_name(name_ + ".rail" + std::to_string(index) + ".xfer");
   // A freed tx slot is a progression opportunity: let idle cores know.
   nic.set_tx_notifier([this] {
     if (pioman_) pioman_->notify_new_work();
@@ -82,6 +85,9 @@ Gate* Core::connect(int peer_node, std::vector<int> peer_ports) {
   }
   gates_.push_back(std::make_unique<Gate>(peer_node, peer_ports));
   Gate* g = gates_.back().get();
+  const std::string gate_name = name_ + ".gate" + std::to_string(peer_node);
+  g->san_collect_.set_name(gate_name + ".collect");
+  g->san_matching_.set_name(gate_name + ".matching");
   by_peer_[peer_node] = g;
   for (int r = 0; r < num_rails(); ++r) {
     src_to_gate_[static_cast<std::size_t>(r)][peer_ports[static_cast<std::size_t>(r)]] = g;
@@ -258,6 +264,7 @@ Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
   std::vector<Strategy::Arranged> staged;
   locks_.lock(Domain::kCollect);
   ctx.touch(gate->out_line_);
+  SIMSAN_ACCESS(gate->san_collect_);
   req->msg_seq_ = gate->next_send_seq_++;
   req->seq_bound_ = true;
   if (flow_ != nullptr) {
@@ -372,6 +379,7 @@ Request* Core::launch_recv(mth::ExecContext& ctx, Request* req, Gate* gate,
 
   bool adopted_rdv = false;
   locks_.lock(Domain::kMatching);
+  SIMSAN_ACCESS(gate->san_matching_);
   // Adopt the earliest (lowest msg_seq) unexpected message with this tag.
   auto best = gate->unexpected_.end();
   for (auto it = gate->unexpected_.begin(); it != gate->unexpected_.end();
@@ -403,6 +411,7 @@ Request* Core::launch_recv(mth::ExecContext& ctx, Request* req, Gate* gate,
       cts.msg_seq = um.msg_seq;
       cts.cookie = um.rts_cookie;
       cts.rdv_window = req;  // the window the grant advertises
+      SIMSAN_ACCESS(san_deferred_);
       deferred_pws_.emplace_back(gate, cts);
       adopted_rdv = true;
       stats_.rdv_handshakes.add_always();
@@ -659,6 +668,7 @@ bool Core::flush_deferred(bool use_try) {
   } else {
     locks_.lock(Domain::kMatching);
   }
+  SIMSAN_ACCESS(san_deferred_);
   local.swap(deferred_pws_);
   locks_.unlock(Domain::kMatching);
   if (local.empty()) return false;
@@ -667,6 +677,7 @@ bool Core::flush_deferred(bool use_try) {
     if (!locks_.try_lock(Domain::kCollect)) {
       // Put them back; next pass retries.
       if (locks_.try_lock(Domain::kMatching)) {
+        SIMSAN_ACCESS(san_deferred_);
         for (auto& e : local) deferred_pws_.push_back(std::move(e));
         locks_.unlock(Domain::kMatching);
         return false;
@@ -680,6 +691,7 @@ bool Core::flush_deferred(bool use_try) {
     locks_.lock(Domain::kCollect);
   }
   for (auto& [gate, pw] : local) {
+    SIMSAN_ACCESS(gate->san_collect_);
     if (pw.kind == PackWrapper::Kind::kCts) {
       gate->ctrl_list_.push_back(pw);
     } else {
@@ -780,6 +792,7 @@ bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
     } else {
       locks_.lock(d);
     }
+    SIMSAN_ACCESS(drv.san_xfer());
     for (auto& a : staged) {
       if (a.rail == r) drv.commit(std::move(a.pkt));
     }
@@ -807,6 +820,7 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
         continue;
       }
       locks_.lock(locks_.driver_domain(r));
+      SIMSAN_ACCESS(d.san_xfer());
       d.drain(completer);
       for (int k = 0; k < 4; ++k) {
         auto pkt = d.nic().poll();
@@ -833,6 +847,7 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
       continue;
     }
     if (!locks_.try_lock(locks_.driver_domain(r))) continue;
+    SIMSAN_ACCESS(d.san_xfer());
     d.drain(completer);
     int budget = 4;
     while (budget-- > 0 && d.nic().rx_pending()) {
@@ -862,6 +877,7 @@ void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
               name_.c_str(), pkt.src_port);
     return;
   }
+  SIMSAN_ACCESS(gate->san_matching_);
   PacketReader reader(pkt.payload);
   const net::SlabRef* backing = pkt.payload.data_slab();
   const std::uint8_t* data = nullptr;
@@ -903,6 +919,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
       pw.len = req->total_len_;
       pw.cookie = req->id_;
       pw.rdv_window = static_cast<Request*>(note);
+      SIMSAN_ACCESS(san_deferred_);
       deferred_pws_.emplace_back(req->gate_, pw);
       resubmit_hint_ = true;
       return;
@@ -934,6 +951,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         cts.msg_seq = h.msg_seq;
         cts.cookie = h.cookie;
         cts.rdv_window = req;  // the window the grant advertises
+        SIMSAN_ACCESS(san_deferred_);
         deferred_pws_.emplace_back(&gate, cts);
         resubmit_hint_ = true;
         stats_.rdv_handshakes.add_always();

@@ -212,6 +212,7 @@ class Core final : public piom::PollSource {
   /// (CTS replies, granted rendezvous data); moved into the gates' collect
   /// lists by the next submission step. Guarded by the matching domain.
   std::deque<std::pair<Gate*, PackWrapper>> deferred_pws_;
+  san::Shared san_deferred_{"nm.deferred"};  ///< simsan handle for the deque
   bool resubmit_hint_ = false;
 
   std::unordered_map<std::uint64_t, Request*> send_by_cookie_;

@@ -14,6 +14,7 @@
 
 #include "nmad/request.hpp"
 #include "simnet/nic.hpp"
+#include "simsan/simsan.hpp"
 
 namespace pm2::nm {
 
@@ -86,10 +87,15 @@ class Driver {
 
   std::uint64_t packets_posted() const { return packets_posted_; }
 
+  /// simsan shared-state handle covering the pending transfer list; the
+  /// Core reports SIMSAN_ACCESS on it wherever it holds the driver domain.
+  san::Shared& san_xfer() { return san_xfer_; }
+
  private:
   net::Nic& nic_;
   int index_;
   std::deque<StagedPacket> pending_;
+  san::Shared san_xfer_{"driver.xfer"};
   std::function<void(const StagedPacket&)> post_observer_;
   std::uint64_t packets_posted_ = 0;
 };

@@ -21,6 +21,7 @@
 #include "nmad/types.hpp"
 #include "simmachine/machine.hpp"
 #include "simnet/buffer_pool.hpp"
+#include "simsan/simsan.hpp"
 
 namespace pm2::nm {
 
@@ -105,11 +106,15 @@ class Gate {
   std::deque<PackWrapper> out_list_;   ///< data awaiting arrangement
   std::uint32_t next_send_seq_ = 0;
   mach::CacheLine out_line_;  ///< tracks which core last touched the lists
+  /// simsan shared-state handle covering the collect lists above; every
+  /// mutation site reports SIMSAN_ACCESS on it (named by Core::connect).
+  san::Shared san_collect_{"gate.collect"};
 
   // --- receive matching (protected by the matching lock) ------------------
   std::deque<Request*> posted_recvs_;                    ///< unmatched, FIFO
   std::unordered_map<std::uint32_t, Request*> bound_recvs_;  ///< msg_seq ->
   std::deque<UnexpectedMsg> unexpected_;                 ///< arrival order
+  san::Shared san_matching_{"gate.matching"};  ///< covers the tables above
 };
 
 }  // namespace pm2::nm

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "simsan/context.hpp"
+
 namespace pm2::nm {
 
 const char* to_string(LockMode m) {
@@ -108,7 +110,17 @@ void LockSet::lock_library() {
 
 void LockSet::unlock_library() {
   if (mode_ != LockMode::kCoarse) return;
-  assert(library_held_);
+  // Contract: only the context that locked the library may unlock it (the
+  // release_library_all()/reacquire_library() window hands the lock over
+  // wholesale, never piecemeal).
+  if (!library_locked_by_me()) {
+    if (san::violation("library-unlock-not-holder",
+                       "unlock_library() by a context that does not hold "
+                       "the library lock")) {
+      return;
+    }
+    assert(library_held_ && "unlock_library without lock_library");
+  }
   if (--library_depth_ > 0) return;
   library_held_ = false;
   library_holder_ = nullptr;
@@ -140,6 +152,17 @@ int LockSet::release_library_all() {
 
 void LockSet::reacquire_library(int depth) {
   if (mode_ != LockMode::kCoarse || depth == 0) return;
+  // Contract: a double reacquire (without an intervening release) would
+  // self-deadlock on the global spinlock.
+  if (library_locked_by_me()) {
+    if (san::violation("library-double-reacquire",
+                       "reacquire_library() while already holding the "
+                       "library lock")) {
+      library_depth_ += depth;
+      return;
+    }
+    assert(false && "reacquire_library while already held");
+  }
   global_.lock();
   library_held_ = true;
   library_depth_ = depth;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simsan/context.hpp"
+
 namespace pm2::nm {
 
 Strategy::~Strategy() = default;
@@ -67,6 +69,8 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
                             mth::ExecContext& ctx, std::size_t aggreg_budget,
                             bool split_rdv, std::vector<Arranged>& out) {
   assert(!rails.empty());
+  // Arranging consumes the collect lists; the caller holds the collect lock.
+  SIMSAN_ACCESS(gate.san_collect_);
   sim::Time cost = 0;
   // Control and eager data are FIFO on rail 0 (see rail policy above); if
   // rail 0 is backed up, leave everything in the collect lists for a later

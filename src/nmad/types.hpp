@@ -80,13 +80,13 @@ struct Config {
   int poll_core = -1;
 
   /// Messages larger than this use the rendezvous protocol.
-  std::size_t rdv_threshold = 32 * 1024;
+  std::size_t rdv_threshold = std::size_t{32} * 1024;
 
   /// Maximum aggregated packet payload (strategy kAggreg/kSplit).
   std::size_t aggreg_max = 4096;
 
   /// Minimum message size worth splitting across rails (kSplit).
-  std::size_t split_min = 16 * 1024;
+  std::size_t split_min = std::size_t{16} * 1024;
 
   /// Fixed per-call bookkeeping cost of the public API.
   sim::Time api_cost = 50;

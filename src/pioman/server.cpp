@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "simcore/trace.hpp"
+#include "simsan/context.hpp"
 
 namespace pm2::piom {
 
@@ -21,11 +22,13 @@ Server::Server(mth::Scheduler& sched)
 Server::~Server() { remove_hooks(); }
 
 void Server::register_source(PollSource* src) {
+  SIMSAN_ACCESS(san_sources_);
   sources_.push_back(src);
   notify_new_work();
 }
 
 void Server::unregister_source(PollSource* src) {
+  SIMSAN_ACCESS(san_sources_);
   std::erase(sources_, src);
 }
 
@@ -61,6 +64,7 @@ bool Server::poll_once(mth::ExecContext& ctx) {
     return false;
   }
   bool progressed = false;
+  SIMSAN_ACCESS_RO(san_sources_);  // iteration is read-only, under list_lock_
   const int core = ctx.core();
   for (PollSource* s : sources_) {
     const int pref = s->preferred_core();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "simsan/simsan.hpp"
 #include "simthread/scheduler.hpp"
 #include "sync/spinlock.hpp"
 
@@ -79,6 +80,7 @@ class Server {
   mth::Scheduler& sched_;
   std::vector<PollSource*> sources_;
   sync::SpinLock list_lock_;
+  san::Shared san_sources_{"pioman.sources"};  ///< simsan handle for sources_
   int poll_core_ = -1;
   int idle_hook_id_ = -1;
   int switch_hook_id_ = -1;

@@ -44,6 +44,12 @@ class ExecContext {
     charge(machine().touch_line(line, core()));
   }
 
+  /// simsan actor cache (see simsan/context.hpp): the interned actor id
+  /// for this context, valid while san_epoch matches the analyzer's epoch.
+  /// Epoch 0 never matches, so fresh contexts intern lazily on first use.
+  std::uint32_t san_actor = 0;
+  std::uint32_t san_epoch = 0;
+
   /// The context active right now; asserts that one exists.
   static ExecContext& current() {
     assert(current_ && "no execution context active");

@@ -8,6 +8,9 @@
 #if PM2SIM_FIBER_ASAN
 #include <sanitizer/common_interface_defs.h>
 #endif
+#if PM2SIM_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace pm2::mth {
 
@@ -28,6 +31,9 @@ Fiber::~Fiber() {
   // this only happens for programs abandoned mid-run (e.g. deadlock tests).
   // The stack memory itself is recycled either way: once the fiber is gone
   // it can never be resumed, so its frames are unreachable.
+#if !PM2SIM_FIBER_ASM && PM2SIM_FIBER_TSAN
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
   StackPool::instance().release(std::move(stack_));
 }
 
@@ -187,6 +193,11 @@ void Fiber::resume() {
   __sanitizer_start_switch_fiber(&resumer_fake_, stack_.mem.get(),
                                  stack_.size);
 #endif
+#if PM2SIM_FIBER_TSAN
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_resumer_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&return_ctx_, &ctx_);
 #if PM2SIM_FIBER_ASAN
   __sanitizer_finish_switch_fiber(resumer_fake_, nullptr, nullptr);
@@ -202,6 +213,9 @@ void Fiber::suspend() {
 #if PM2SIM_FIBER_ASAN
   __sanitizer_start_switch_fiber(&fiber_fake_, return_stack_bottom_,
                                  return_stack_size_);
+#endif
+#if PM2SIM_FIBER_TSAN
+  __tsan_switch_to_fiber(tsan_resumer_, 0);
 #endif
   swapcontext(&ctx_, &return_ctx_);
 #if PM2SIM_FIBER_ASAN
@@ -243,6 +257,11 @@ void Fiber::run_body() {
   // frames instead of keeping them for a resume that never comes.
   __sanitizer_start_switch_fiber(nullptr, return_stack_bottom_,
                                  return_stack_size_);
+#endif
+#if PM2SIM_FIBER_TSAN
+  // The fiber's TSan state stays alive until ~Fiber (destroying the state
+  // one is currently running on is not allowed).
+  __tsan_switch_to_fiber(tsan_resumer_, 0);
 #endif
   swapcontext(&ctx_, &return_ctx_);
 #endif

@@ -14,8 +14,8 @@
 //     per switch, which dominates the host cost of charge()-heavy
 //     workloads (every virtual-time charge is a suspend/resume pair).
 //   * POSIX ucontext fallback: used on other architectures and under
-//     AddressSanitizer (ASan interposes swapcontext to track stack
-//     switches; a raw assembly switch would confuse its shadow stack).
+//     Address/ThreadSanitizer (both track stack switches through dedicated
+//     fiber APIs; a raw assembly switch would confuse their shadow stacks).
 #pragma once
 
 #include <cstddef>
@@ -26,9 +26,9 @@
 
 #if !defined(PM2SIM_FIBER_ASM)
 #if defined(__x86_64__) && !defined(__SANITIZE_ADDRESS__) && \
-    !defined(PM2SIM_FIBER_UCONTEXT)
+    !defined(__SANITIZE_THREAD__) && !defined(PM2SIM_FIBER_UCONTEXT)
 #if defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define PM2SIM_FIBER_ASM 0
 #else
 #define PM2SIM_FIBER_ASM 1
@@ -64,6 +64,30 @@
 #endif
 #endif
 
+// Under ThreadSanitizer every fiber gets its own __tsan fiber state and
+// each switch is announced with __tsan_switch_to_fiber; without this, TSan
+// sees one host thread whose stack pointer teleports between allocations
+// and its shadow-stack bookkeeping breaks. Switches keep synchronization
+// (flag 0): everything runs on one host thread, so fiber switches are real
+// happens-before and suppressing them would only manufacture false races.
+#if !defined(PM2SIM_FIBER_TSAN)
+#if defined(__SANITIZE_THREAD__)
+#define PM2SIM_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PM2SIM_FIBER_TSAN 1
+#else
+#define PM2SIM_FIBER_TSAN 0
+#endif
+#else
+#define PM2SIM_FIBER_TSAN 0
+#endif
+#endif
+
+#if PM2SIM_FIBER_ASM && PM2SIM_FIBER_TSAN
+#error "the assembly fiber backend cannot run under TSan; define PM2SIM_FIBER_UCONTEXT"
+#endif
+
 namespace pm2::mth {
 
 /// A stackful coroutine. Not copyable, not movable (the stack address is
@@ -74,7 +98,7 @@ class Fiber {
   /// @p stack_size is rounded up to a sane minimum. The stack comes from
   /// the process-wide StackPool and returns there on destruction, so thread
   /// churn does not hit the allocator in steady state.
-  explicit Fiber(std::function<void()> body, std::size_t stack_size = 256 * 1024);
+  explicit Fiber(std::function<void()> body, std::size_t stack_size = std::size_t{256} * 1024);
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -117,6 +141,10 @@ class Fiber {
   void* fiber_fake_ = nullptr;    ///< ASan fake stack saved by suspend()
   const void* return_stack_bottom_ = nullptr;  ///< resumer's stack, for
   std::size_t return_stack_size_ = 0;          ///< switching back out
+#endif
+#if PM2SIM_FIBER_TSAN
+  void* tsan_fiber_ = nullptr;    ///< TSan fiber state for this fiber
+  void* tsan_resumer_ = nullptr;  ///< TSan state of the resuming context
 #endif
 #endif
   bool started_ = false;

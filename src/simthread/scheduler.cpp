@@ -6,6 +6,7 @@
 
 #include "simcore/chrome_trace.hpp"
 #include "simcore/trace.hpp"
+#include "simsan/context.hpp"
 
 namespace pm2::mth {
 
@@ -80,6 +81,11 @@ Thread* Scheduler::spawn(ThreadFunc body, ThreadAttrs attrs) {
             static_cast<unsigned long long>(t->id()), t->name().c_str());
   if (running_ != nullptr && Fiber::current() != nullptr) {
     charge_current(costs().thread_spawn);
+  }
+  if (san::on()) {
+    // Everything the spawner did so far happens-before the child's body.
+    san::Analyzer::global().on_wake(san::current_actor(),
+                                    san::actor_of(t->ctx_));
   }
   enqueue(choose_core(t), t);
   // Idle cores may have had no reason to run their hooks while the world
@@ -254,7 +260,16 @@ void Scheduler::finish_thread(int core, Thread* t) {
   c.current = nullptr;
   PM2_TRACE("sched", kDebug, "thread %llu '%s' finished",
             static_cast<unsigned long long>(t->id()), t->name().c_str());
-  for (Thread* j : t->joiners_) wake(j);
+  for (Thread* j : t->joiners_) {
+    if (san::on()) {
+      // finish_thread runs in the engine context, so the generic wake()
+      // tap sees no actor; the dead thread's history must still reach its
+      // joiners (join is a synchronization edge).
+      san::Analyzer::global().on_wake(san::actor_of(t->ctx_),
+                                      san::actor_of(j->ctx_));
+    }
+    wake(j);
+  }
   t->joiners_.clear();
   --live_threads_;
   kick(core);
@@ -271,6 +286,14 @@ void Scheduler::on_all_done() {
 // --- waiting / waking -------------------------------------------------------
 
 void Scheduler::wake(Thread* t) {
+  // simsan: the waker's history happens-before the wakee's next step.
+  // Recorded at the *first* call, while the waking context is still active;
+  // a hook-deferred re-issue (below) runs in the engine context and is
+  // skipped by current_actor(), so the edge is never double-counted.
+  if (san::on()) {
+    san::Analyzer::global().on_wake(san::current_actor(),
+                                    san::actor_of(t->ctx_));
+  }
   // A wake issued from inside a hook becomes visible only once the hook's
   // accumulated work has actually been "paid for" on the virtual clock.
   if (auto* ctx = ExecContext::current_or_null();
@@ -318,6 +341,11 @@ void Scheduler::spin_park() {
 }
 
 void Scheduler::spin_unpark(Thread* t, sim::Time detect_delay) {
+  // simsan: same first-call edge discipline as wake().
+  if (san::on()) {
+    san::Analyzer::global().on_wake(san::current_actor(),
+                                    san::actor_of(t->ctx_));
+  }
   if (auto* ctx = ExecContext::current_or_null();
       ctx != nullptr && !ctx->can_block()) {
     const sim::Time delay = static_cast<HookContext*>(ctx)->consumed();

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "simsan/context.hpp"
+
 namespace pm2::sync {
 
 Barrier::Barrier(mth::Scheduler& sched, int parties, std::string name)
@@ -13,13 +15,19 @@ Barrier::Barrier(mth::Scheduler& sched, int parties, std::string name)
 void Barrier::arrive_and_wait() {
   auto& ctx = mth::ExecContext::current();
   assert(ctx.can_block() && "Barrier::arrive_and_wait outside a thread");
+  san::block_point("Barrier::arrive_and_wait");
   ctx.charge(sched_.costs().sem_fast_path);
+  // simsan: every arrival publishes its history into the barrier slot, and
+  // every departure observes the slot -- all-to-all happens-before across
+  // this generation.
+  if (san::on()) san::hb_release(san_tag_, name_);
   ++arrived_;
   if (arrived_ == parties_) {
     arrived_ = 0;
     ++generation_;
     for (mth::Thread* t : waiting_) sched_.wake(t);
     waiting_.clear();
+    if (san::on()) san::hb_acquire(san_tag_, name_);
     return;
   }
   const std::uint64_t my_generation = generation_;
@@ -29,6 +37,7 @@ void Barrier::arrive_and_wait() {
     sched_.block_current();
   }
   ctx.charge(sched_.costs().context_switch);
+  if (san::on()) san::hb_acquire(san_tag_, name_);
 }
 
 }  // namespace pm2::sync

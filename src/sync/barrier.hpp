@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "simsan/simsan.hpp"
 #include "simthread/scheduler.hpp"
 
 namespace pm2::sync {
@@ -30,6 +31,7 @@ class Barrier {
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
   std::vector<mth::Thread*> waiting_;
+  san::SlotTag san_tag_;
 };
 
 }  // namespace pm2::sync

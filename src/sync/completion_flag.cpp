@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "simsan/context.hpp"
 #include "sync/context_util.hpp"
 
 namespace pm2::sync {
@@ -27,6 +28,9 @@ bool CompletionFlag::test() {
 
 void CompletionFlag::set() {
   if (done_) return;
+  // simsan: the set publishes the setter's history; every wait return path
+  // observes it (set-before-wait included, where no wake edge exists).
+  if (san::on()) san::hb_release(san_tag_, name_);
   done_ = true;
   touch_if_ctx(line_);  // the completion write moves the line to the setter
   for (Waiter& w : waiters_) {
@@ -57,7 +61,10 @@ void CompletionFlag::wait_busy() {
   assert(ctx.can_block() && "wait on a flag outside a thread context");
   ctx.touch(line_);
   ctx.charge(sched_.costs().spin_retry);
-  if (done_) return;
+  if (done_) {
+    if (san::on()) san::hb_acquire(san_tag_, name_);
+    return;
+  }
   mth::Thread* self = sched_.current_thread();
   while (!done_) {
     if (sched_.runqueue_length(self->core()) > 0) {
@@ -72,14 +79,19 @@ void CompletionFlag::wait_busy() {
     waiters_.erase(it);
   }
   ctx.touch(line_);  // pay the transfer from the setter's core
+  if (san::on()) san::hb_acquire(san_tag_, name_);
 }
 
 void CompletionFlag::wait_passive() {
   auto& ctx = mth::ExecContext::current();
   assert(ctx.can_block() && "wait on a flag outside a thread context");
+  san::block_point("CompletionFlag::wait_passive");
   ctx.touch(line_);
   ctx.charge(sched_.costs().sem_fast_path);
-  if (done_) return;
+  if (done_) {
+    if (san::on()) san::hb_acquire(san_tag_, name_);
+    return;
+  }
   ++blocked_waits_;
   auto it = waiters_.insert(waiters_.end(),
                             Waiter{sched_.current_thread(), Mode::kBlocked});
@@ -89,6 +101,7 @@ void CompletionFlag::wait_passive() {
   waiters_.erase(it);
   ctx.charge(sched_.costs().context_switch);
   ctx.touch(line_);
+  if (san::on()) san::hb_acquire(san_tag_, name_);
 }
 
 void CompletionFlag::wait_fixed_spin(sim::Time spin_budget) {
@@ -97,7 +110,10 @@ void CompletionFlag::wait_fixed_spin(sim::Time spin_budget) {
   assert(spin_budget >= 0);
   ctx.touch(line_);
   ctx.charge(sched_.costs().spin_retry);
-  if (done_) return;
+  if (done_) {
+    if (san::on()) san::hb_acquire(san_tag_, name_);
+    return;
+  }
 
   mth::Thread* self = sched_.current_thread();
   auto it = waiters_.insert(waiters_.end(), Waiter{self, Mode::kSpin});
@@ -110,10 +126,12 @@ void CompletionFlag::wait_fixed_spin(sim::Time spin_budget) {
   if (done_) {
     waiters_.erase(it);
     ctx.touch(line_);
+    if (san::on()) san::hb_acquire(san_tag_, name_);
     return;
   }
   // Spun out: block. The switch cost is now a small fraction of the total
   // wait, which is the whole point of the fixed-spin algorithm.
+  san::block_point("CompletionFlag::wait_fixed_spin(block)");
   ++blocked_waits_;
   it->mode = Mode::kBlocked;
   ctx.charge(sched_.costs().context_switch);
@@ -121,6 +139,7 @@ void CompletionFlag::wait_fixed_spin(sim::Time spin_budget) {
   waiters_.erase(it);
   ctx.charge(sched_.costs().context_switch);
   ctx.touch(line_);
+  if (san::on()) san::hb_acquire(san_tag_, name_);
 }
 
 }  // namespace pm2::sync

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "simcore/time.hpp"
+#include "simsan/simsan.hpp"
 #include "simmachine/machine.hpp"
 #include "simthread/scheduler.hpp"
 
@@ -48,7 +49,9 @@ class CompletionFlag {
   /// Priced check from the active context (one flag read).
   bool test();
 
-  /// Mark complete and release every waiter. Any context; idempotent.
+  /// Mark complete and release every waiter. Any context, including hooks
+  /// (never blocks; wakes issued from a hook are deferred by the
+  /// scheduler); idempotent.
   void set();
 
   /// Re-arm for reuse. Only valid with no waiters registered.
@@ -77,6 +80,7 @@ class CompletionFlag {
   bool done_ = false;
   std::list<Waiter> waiters_;
   std::uint64_t blocked_waits_ = 0;
+  san::SlotTag san_tag_;
 };
 
 }  // namespace pm2::sync

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "simsan/context.hpp"
 #include "sync/context_util.hpp"
 
 namespace pm2::sync {
@@ -11,19 +12,41 @@ Mutex::Mutex(mth::Scheduler& sched, std::string name)
 
 void Mutex::lock() {
   auto& ctx = mth::ExecContext::current();
-  assert(ctx.can_block() && "Mutex::lock in a non-blocking context");
+  if (!ctx.can_block()) {
+    // Under analysis this is a reported finding and the acquisition is
+    // abandoned (no lock taken, no owner clobbered) so the run stays alive;
+    // otherwise it is the contract assert it always was.
+    if (san::violation("blocking-lock-in-hook", "Mutex::lock on \"" + name_ +
+                                                    "\" from hook context")) {
+      return;
+    }
+    assert(false && "Mutex::lock in a non-blocking context");
+    return;
+  }
+  san::block_point("Mutex::lock");
   mth::Thread* self = sched_.current_thread();
-  assert(owner_ != self && "recursive Mutex::lock");
+  if (owner_ == self) {
+    // Non-recursive by contract; under analysis, report and treat the
+    // re-entry as a no-op (the caller already holds the mutex).
+    if (san::violation("recursive-mutex-lock",
+                       "recursive Mutex::lock on \"" + name_ + "\"")) {
+      return;
+    }
+    assert(false && "recursive Mutex::lock");
+    return;
+  }
   ctx.touch(line_);
   ctx.charge(sched_.costs().sem_fast_path);
   if (owner_ == nullptr) {
     owner_ = self;
+    san_acquired(/*blocking=*/true);
     return;
   }
   ctx.charge(sched_.costs().context_switch);
   if (owner_ == nullptr) {
     // The holder released while we were paying the switch-out.
     owner_ = self;
+    san_acquired(/*blocking=*/true);
     return;
   }
   waiters_.push_back(self);
@@ -32,6 +55,11 @@ void Mutex::lock() {
   while (owner_ != self) sched_.block_current();
   ctx.charge(sched_.costs().context_switch);
   ctx.touch(line_);
+  san_acquired(/*blocking=*/true);
+}
+
+void Mutex::san_acquired(bool blocking) {
+  if (san::on()) san::acquired(san_tag_, name_, san::LockKind::kMutex, blocking);
 }
 
 bool Mutex::try_lock() {
@@ -40,11 +68,13 @@ bool Mutex::try_lock() {
   ctx.charge(sched_.costs().sem_fast_path);
   if (owner_ != nullptr) return false;
   owner_ = sched_.current_thread();
+  san_acquired(/*blocking=*/false);
   return true;
 }
 
 void Mutex::unlock() {
   assert(owner_ != nullptr && "unlock of a free Mutex");
+  if (san::on()) san::released(san_tag_, name_, san::LockKind::kMutex);
   charge_if_ctx(sched_.costs().sem_fast_path);
   touch_if_ctx(line_);
   if (!waiters_.empty()) {
@@ -62,18 +92,39 @@ CondVar::CondVar(mth::Scheduler& sched, std::string name)
 
 void CondVar::wait(Mutex& m) {
   auto& ctx = mth::ExecContext::current();
-  assert(ctx.can_block() && "CondVar::wait in a non-blocking context");
+  if (!ctx.can_block()) {
+    if (san::violation("blocking-wait-in-hook", "CondVar::wait on \"" +
+                                                    name_ +
+                                                    "\" from hook context")) {
+      return;
+    }
+    assert(false && "CondVar::wait in a non-blocking context");
+    return;
+  }
   mth::Thread* self = sched_.current_thread();
-  assert(m.owner() == self && "CondVar::wait without holding the mutex");
+  if (m.owner() != self) {
+    // Under analysis, report and return immediately -- indistinguishable
+    // from a spurious wakeup, which Mesa semantics already permit.
+    if (san::violation("condvar-wait-without-mutex",
+                       "CondVar::wait on \"" + name_ +
+                           "\" without holding its mutex")) {
+      return;
+    }
+    assert(false && "CondVar::wait without holding the mutex");
+    return;
+  }
+  san::block_point("CondVar::wait");
   waiters_.push_back(self);
   m.unlock();
   ctx.charge(sched_.costs().context_switch);
   sched_.block_current();  // a notify during the charge left a wake permit
   ctx.charge(sched_.costs().context_switch);
   m.lock();
+  if (san::on()) san::hb_acquire(san_tag_, name_);
 }
 
 void CondVar::notify_one() {
+  if (san::on()) san::hb_release(san_tag_, name_);
   charge_if_ctx(sched_.costs().sem_fast_path);
   if (waiters_.empty()) return;
   mth::Thread* t = waiters_.front();
@@ -82,6 +133,7 @@ void CondVar::notify_one() {
 }
 
 void CondVar::notify_all() {
+  if (san::on()) san::hb_release(san_tag_, name_);
   charge_if_ctx(sched_.costs().sem_fast_path);
   while (!waiters_.empty()) {
     mth::Thread* t = waiters_.front();

@@ -9,6 +9,7 @@
 #include <deque>
 #include <string>
 
+#include "simsan/simsan.hpp"
 #include "simthread/scheduler.hpp"
 
 namespace pm2::sync {
@@ -20,7 +21,8 @@ class Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  /// Thread context only.
+  /// Thread context only; non-recursive. Both contracts are asserted, and
+  /// reported as context-violation findings instead when simsan is enabled.
   void lock();
   bool try_lock();
   void unlock();
@@ -30,11 +32,14 @@ class Mutex {
 
  private:
   friend class CondVar;
+  void san_acquired(bool blocking);
+
   mth::Scheduler& sched_;
   std::string name_;
   mach::CacheLine line_;
   mth::Thread* owner_ = nullptr;
   std::deque<mth::Thread*> waiters_;
+  san::SlotTag san_tag_;
 };
 
 /// RAII guard for Mutex.
@@ -57,10 +62,13 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically release @p m and wait; re-acquires @p m before returning.
-  /// The caller must hold @p m. Mesa semantics: re-check your predicate.
+  /// The caller must hold @p m (asserted; a simsan finding when analysis is
+  /// enabled). Mesa semantics: re-check your predicate.
   void wait(Mutex& m);
 
-  /// Wake one / all waiters. Any context.
+  /// Wake one / all waiters. Any context, including hooks: these never
+  /// block and never take the mutex, and a wake issued from a hook is
+  /// deferred by the scheduler until the hook's work has been paid for.
   void notify_one();
   void notify_all();
 
@@ -70,6 +78,7 @@ class CondVar {
   mth::Scheduler& sched_;
   std::string name_;
   std::deque<mth::Thread*> waiters_;
+  san::SlotTag san_tag_;
 };
 
 }  // namespace pm2::sync

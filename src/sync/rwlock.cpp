@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "simsan/context.hpp"
 #include "sync/context_util.hpp"
 
 namespace pm2::sync {
@@ -9,9 +10,14 @@ namespace pm2::sync {
 RwLock::RwLock(mth::Scheduler& sched, std::string name)
     : sched_(sched), name_(std::move(name)) {}
 
+void RwLock::san_acquired(bool blocking) {
+  if (san::on()) san::acquired(san_tag_, name_, san::LockKind::kRw, blocking);
+}
+
 void RwLock::lock_shared() {
   auto& ctx = mth::ExecContext::current();
   assert(ctx.can_block());
+  san::block_point("RwLock::lock_shared");
   ctx.touch(line_);
   ctx.charge(sched_.costs().sem_fast_path);
   // Writer preference: yield to active AND queued writers.
@@ -28,10 +34,12 @@ void RwLock::lock_shared() {
     ctx.charge(sched_.costs().context_switch);
   }
   ++readers_;
+  san_acquired(/*blocking=*/true);
 }
 
 void RwLock::unlock_shared() {
   assert(readers_ > 0);
+  if (san::on()) san::released(san_tag_, name_, san::LockKind::kRw);
   charge_if_ctx(sched_.costs().sem_fast_path);
   touch_if_ctx(line_);
   if (--readers_ == 0) wake_next_locked();
@@ -40,6 +48,7 @@ void RwLock::unlock_shared() {
 void RwLock::lock() {
   auto& ctx = mth::ExecContext::current();
   assert(ctx.can_block());
+  san::block_point("RwLock::lock");
   mth::Thread* self = sched_.current_thread();
   ctx.touch(line_);
   ctx.charge(sched_.costs().sem_fast_path);
@@ -55,10 +64,12 @@ void RwLock::lock() {
     ctx.charge(sched_.costs().context_switch);
   }
   writer_ = self;
+  san_acquired(/*blocking=*/true);
 }
 
 void RwLock::unlock() {
   assert(writer_ == sched_.current_thread() && "unlock by non-owner");
+  if (san::on()) san::released(san_tag_, name_, san::LockKind::kRw);
   charge_if_ctx(sched_.costs().sem_fast_path);
   touch_if_ctx(line_);
   writer_ = nullptr;
@@ -71,6 +82,7 @@ bool RwLock::try_lock() {
   ctx.charge(sched_.costs().sem_fast_path);
   if (writer_ != nullptr || readers_ > 0) return false;
   writer_ = sched_.current_thread();
+  san_acquired(/*blocking=*/false);
   return true;
 }
 
@@ -80,6 +92,7 @@ bool RwLock::try_lock_shared() {
   ctx.charge(sched_.costs().sem_fast_path);
   if (writer_ != nullptr || !waiting_writers_.empty()) return false;
   ++readers_;
+  san_acquired(/*blocking=*/false);
   return true;
 }
 

@@ -9,6 +9,7 @@
 #include <deque>
 #include <string>
 
+#include "simsan/simsan.hpp"
 #include "simthread/scheduler.hpp"
 
 namespace pm2::sync {
@@ -37,6 +38,7 @@ class RwLock {
 
  private:
   void wake_next_locked();
+  void san_acquired(bool blocking);
 
   mth::Scheduler& sched_;
   std::string name_;
@@ -45,6 +47,7 @@ class RwLock {
   mth::Thread* writer_ = nullptr;
   std::deque<mth::Thread*> waiting_writers_;
   std::deque<mth::Thread*> waiting_readers_;
+  san::SlotTag san_tag_;
 };
 
 /// RAII guards.

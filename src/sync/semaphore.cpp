@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "simsan/context.hpp"
 #include "sync/context_util.hpp"
 
 namespace pm2::sync {
@@ -13,11 +14,21 @@ Semaphore::Semaphore(mth::Scheduler& sched, int initial, std::string name)
 
 void Semaphore::acquire() {
   auto& ctx = mth::ExecContext::current();
-  assert(ctx.can_block() && "Semaphore::acquire in a non-blocking context");
+  if (!ctx.can_block()) {
+    if (san::violation("blocking-acquire-in-hook",
+                       "Semaphore::acquire on \"" + name_ +
+                           "\" from hook context")) {
+      return;  // abandoned: no token taken
+    }
+    assert(false && "Semaphore::acquire in a non-blocking context");
+    return;
+  }
+  san::block_point("Semaphore::acquire");
   ctx.touch(line_);
   ctx.charge(sched_.costs().sem_fast_path);
   if (count_ > 0) {
     --count_;
+    if (san::on()) san::hb_acquire(san_tag_, name_);
     return;
   }
   // Passive wait: pay the switch out, block, and pay the switch back in
@@ -29,6 +40,7 @@ void Semaphore::acquire() {
     // A release() landed while we were paying the switch-out. Abort the
     // block (the switch cost is still paid, as on a real machine).
     --count_;
+    if (san::on()) san::hb_acquire(san_tag_, name_);
     return;
   }
   // Mesa discipline: release() marks our token before waking us, and we
@@ -38,6 +50,7 @@ void Semaphore::acquire() {
   while (!w.granted) sched_.block_current();
   ctx.charge(sched_.costs().context_switch);
   ctx.touch(line_);
+  if (san::on()) san::hb_acquire(san_tag_, name_);
 }
 
 bool Semaphore::try_acquire() {
@@ -46,10 +59,12 @@ bool Semaphore::try_acquire() {
   ctx.charge(sched_.costs().sem_fast_path);
   if (count_ == 0) return false;
   --count_;
+  if (san::on()) san::hb_acquire(san_tag_, name_);
   return true;
 }
 
 void Semaphore::release() {
+  if (san::on()) san::hb_release(san_tag_, name_);
   charge_if_ctx(sched_.costs().sem_fast_path);
   touch_if_ctx(line_);
   if (!waiters_.empty()) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "simmachine/machine.hpp"
+#include "simsan/simsan.hpp"
 #include "simthread/scheduler.hpp"
 
 namespace pm2::sync {
@@ -51,6 +52,7 @@ class Semaphore {
   int count_;
   std::deque<Waiter*> waiters_;  ///< entries live on the waiters' stacks
   std::uint64_t blocked_acquires_ = 0;
+  san::SlotTag san_tag_;
 };
 
 }  // namespace pm2::sync

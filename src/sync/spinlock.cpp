@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "simsan/context.hpp"
 #include "sync/context_util.hpp"
 
 namespace pm2::sync {
@@ -22,7 +23,7 @@ void SpinLock::lock() {
   ctx.charge(sched_.costs().spin_acquire);
   if (!held_) {
     held_ = true;
-    note_acquired();
+    note_acquired(/*blocking=*/true);
     return;
   }
   // Contended: actively spin until a release lets us in. A release wakes
@@ -30,8 +31,17 @@ void SpinLock::lock() {
   // plus a line transfer -- a local thread re-acquiring immediately wins
   // that race (barging), unless we have been spinning beyond the fairness
   // horizon, in which case unlock() hands the lock over directly.
-  assert(ctx.can_block() &&
-         "spinlock contention outside a thread context; use try_lock()");
+  if (!ctx.can_block()) {
+    // Under analysis this becomes a reported finding and the acquisition is
+    // abandoned (the caller does not get the lock) so the run stays alive.
+    if (san::violation("spin-in-hook", "SpinLock::lock contended on \"" +
+                                           name_ + "\" in hook context")) {
+      return;
+    }
+    assert(false &&
+           "spinlock contention outside a thread context; use try_lock()");
+    return;
+  }
   ++contentions_;
   m_contentions_.inc();
   mth::Thread* self = sched_.current_thread();
@@ -48,12 +58,12 @@ void SpinLock::lock() {
       if (granted_ == self) {
         granted_ = nullptr;
         assert(held_);
-        note_acquired();
+        note_acquired(/*blocking=*/true);
         return;
       }
       if (!held_) {
         held_ = true;
-        note_acquired();
+        note_acquired(/*blocking=*/true);
         return;
       }
       continue;
@@ -65,7 +75,7 @@ void SpinLock::lock() {
       granted_ = nullptr;
       assert(held_);
       ctx.touch(line_);
-      note_acquired();
+      note_acquired(/*blocking=*/true);
       return;
     }
     // Woken for a retry window: pay the attempt and re-check.
@@ -73,7 +83,7 @@ void SpinLock::lock() {
     ctx.charge(sched_.costs().spin_acquire);
     if (!held_) {
       held_ = true;
-      note_acquired();
+      note_acquired(/*blocking=*/true);
       return;
     }
   }
@@ -85,12 +95,21 @@ bool SpinLock::try_lock() {
   ctx.charge(sched_.costs().spin_acquire);
   if (held_) return false;
   held_ = true;
-  note_acquired();
+  note_acquired(/*blocking=*/false);
   return true;
+}
+
+void SpinLock::san_acquired(bool blocking) {
+  san::acquired(san_tag_, name_, san::LockKind::kSpin, blocking);
+}
+
+void SpinLock::san_released() {
+  san::released(san_tag_, name_, san::LockKind::kSpin);
 }
 
 void SpinLock::unlock() {
   assert(held_ && "unlock of a free SpinLock");
+  if (san::on()) san_released();
   if (acquired_at_ >= 0) {
     m_hold_ns_.inc(
         static_cast<std::uint64_t>(sched_.engine().now() - acquired_at_));

@@ -17,6 +17,7 @@
 
 #include "obs/metrics.hpp"
 #include "simmachine/machine.hpp"
+#include "simsan/simsan.hpp"
 #include "simthread/scheduler.hpp"
 
 namespace pm2::sync {
@@ -52,13 +53,18 @@ class SpinLock {
     sim::Time park_start;
   };
 
-  void note_acquired() {
+  /// @p blocking: the caller was prepared to wait for the lock (lock(), not
+  /// try_lock()) -- simsan only draws lock-order edges for those.
+  void note_acquired(bool blocking) {
     ++acquisitions_;
     m_acquisitions_.inc();
     if (obs::MetricsRegistry::global().enabled()) {
       acquired_at_ = sched_.engine().now();
     }
+    if (san::Analyzer::global().enabled()) san_acquired(blocking);
   }
+  void san_acquired(bool blocking);
+  void san_released();
 
   mth::Scheduler& sched_;
   std::string name_;
@@ -73,6 +79,7 @@ class SpinLock {
   obs::Counter m_contentions_;
   obs::Counter m_hold_ns_;
   sim::Time acquired_at_ = -1;  ///< virtual hold-time start (registry only)
+  san::SlotTag san_tag_;        ///< simsan lock slot cache
 };
 
 /// RAII guard, analogous to std::lock_guard.

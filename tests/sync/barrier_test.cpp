@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace pm2::sync {
@@ -79,6 +80,42 @@ TEST_F(BarrierTest, LastArriverReleasesOthersPromptly) {
   engine_.run();
   EXPECT_GE(released, sim::microseconds(30));
   EXPECT_LE(released, sim::microseconds(32));
+}
+
+TEST_F(BarrierTest, GenerationsStayIsolatedWhenArrivalOrderFlips) {
+  // Reverse the stagger every phase so a different thread is last to arrive
+  // each generation; nobody may enter generation g+1 while a peer is still
+  // inside generation g, and per-generation arrival counts stay exact.
+  constexpr int kParties = 3;
+  constexpr int kPhases = 6;
+  Barrier bar(sched_, kParties);
+  int arrived[kPhases] = {};
+  int in_phase[kParties] = {};
+  int max_skew = 0;
+  for (int i = 0; i < kParties; ++i) {
+    mth::ThreadAttrs a;
+    a.bind_core = i;
+    sched_.spawn([&, i] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        const int slot = (phase % 2 == 0) ? i : (kParties - 1 - i);
+        sched_.work(sim::microseconds(static_cast<std::int64_t>(slot) + 1));
+        ++arrived[phase];
+        in_phase[i] = phase;
+        for (int j = 0; j < kParties; ++j) {
+          max_skew = std::max(max_skew, in_phase[i] - in_phase[j]);
+        }
+        bar.arrive_and_wait();
+      }
+    }, a);
+  }
+  engine_.run();
+  for (int phase = 0; phase < kPhases; ++phase) {
+    EXPECT_EQ(arrived[phase], kParties) << "phase " << phase;
+  }
+  // At any arrival, peers are at most one generation behind (they may not
+  // have re-arrived yet) and never ahead without us having left.
+  EXPECT_LE(max_skew, 1);
+  EXPECT_EQ(bar.generation(), static_cast<unsigned>(kPhases));
 }
 
 }  // namespace

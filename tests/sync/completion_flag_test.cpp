@@ -214,5 +214,30 @@ TEST_F(FlagTest, TestChecksWithoutBlocking) {
   engine_.run();
 }
 
+TEST_F(FlagTest, SignalBeforeWaitNeverBlocksAcrossReuse) {
+  // set() strictly before wait() must take the fast path -- no scheduler
+  // block -- under every policy, including after reset() re-arms the flag.
+  CompletionFlag f(sched_);
+  for (int round = 0; round < 2; ++round) {
+    for (WaitPolicy p :
+         {WaitPolicy::kBusy, WaitPolicy::kPassive, WaitPolicy::kFixedSpin}) {
+      const std::uint64_t blocked_before = f.blocked_waits();
+      sched_.spawn([&] { f.set(); });
+      mth::ThreadAttrs a;
+      a.bind_core = 1;
+      sched_.spawn([&, p] {
+        // Arrive well after the setter ran: the signal is already latched.
+        sched_.charge_current(sim::microseconds(5));
+        f.wait(p);
+        EXPECT_TRUE(f.is_set());
+      }, a);
+      engine_.run();
+      EXPECT_EQ(f.blocked_waits(), blocked_before) << to_string(p);
+      f.reset();
+      EXPECT_FALSE(f.is_set());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pm2::sync

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace pm2::sync {
 namespace {
 
@@ -123,6 +127,58 @@ TEST_F(RwLockTest, ManyMixedOperationsKeepInvariant) {
   engine_.run();
   EXPECT_EQ(bad_reads, 0);
   EXPECT_EQ(data % 2, 0);
+}
+
+TEST_F(RwLockTest, WaitingWriterNotStarvedByReaderStream) {
+  // A continuous, overlapping stream of readers must not starve a writer:
+  // once the writer queues, only the readers already inside finish ahead of
+  // it; readers that arrive later are held back until the writer is done.
+  RwLock rw(sched_);
+  std::vector<std::string> order;
+  for (int i = 0; i < 4; ++i) {
+    mth::ThreadAttrs a;
+    a.bind_core = i % 3;  // core 3 is reserved for the writer
+    sched_.spawn([&, i] {
+      // Readers arrive at 0,4,8,12 us and hold for 6 us: the stream
+      // overlaps itself, so without writer preference it never drains.
+      sched_.charge_current(sim::microseconds(4) * i);
+      ReadGuard g(rw);
+      sched_.work(sim::microseconds(6));
+      order.push_back("r" + std::to_string(i));
+    }, a);
+  }
+  mth::ThreadAttrs wa;
+  wa.bind_core = 3;
+  sched_.spawn([&] {
+    sched_.charge_current(sim::microseconds(5));  // after r0, r1 arrived
+    WriteGuard g(rw);
+    order.push_back("w");
+  }, wa);
+  engine_.run();
+  ASSERT_EQ(order.size(), 5u);
+  const auto pos = [&](const std::string& s) {
+    return std::find(order.begin(), order.end(), s) - order.begin();
+  };
+  // The writer overtakes every reader that arrived after it queued.
+  EXPECT_LT(pos("w"), pos("r2"));
+  EXPECT_LT(pos("w"), pos("r3"));
+}
+
+TEST_F(RwLockTest, WritersHandOffInArrivalOrder) {
+  RwLock rw(sched_);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    mth::ThreadAttrs a;
+    a.bind_core = i;
+    sched_.spawn([&, i] {
+      sched_.charge_current(sim::microseconds(2) * (i + 1));
+      WriteGuard g(rw);
+      sched_.work(sim::microseconds(10));
+      order.push_back(i);
+    }, a);
+  }
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace pm2::sync {
@@ -162,6 +163,38 @@ TEST_F(SemaphoreTest, ProducerConsumerPipeline) {
   engine_.run();
   ASSERT_EQ(consumed.size(), 32u);
   for (int i = 0; i < 32; ++i) EXPECT_EQ(consumed[static_cast<size_t>(i)], i);
+}
+
+TEST_F(SemaphoreTest, QueuedWaiterNotOvertakenByLateArriver) {
+  // Releases hand the token to the head of the queue directly (Mesa-style
+  // grant), so a thread that calls acquire() after the release has landed
+  // but before the waiter dispatched cannot barge ahead of the queue.
+  Semaphore sem(sched_);
+  std::vector<std::string> order;
+  mth::ThreadAttrs a0, a1, a2;
+  a0.bind_core = 0;
+  a1.bind_core = 1;
+  a2.bind_core = 2;
+  sched_.spawn([&] {
+    sem.acquire();  // queues immediately (no tokens)
+    order.push_back("queued");
+  }, a0);
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(10));
+    sem.release();
+  }, a1);
+  sched_.spawn([&] {
+    // Arrives just after the release: must go behind the queued waiter.
+    sched_.charge_current(sim::microseconds(10) + 100);
+    sem.acquire();
+    order.push_back("late");
+  }, a2);
+  sched_.spawn([&] {
+    sched_.work(sim::microseconds(30));
+    sem.release();  // second token, for whoever is still waiting
+  }, a1);
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"queued", "late"}));
 }
 
 }  // namespace
