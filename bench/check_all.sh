@@ -19,9 +19,14 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" -j"$(nproc)" --output-on-failure
 
-echo "== [2/4] simsan selfcheck =="
+echo "== [2/4] simsan selfcheck + parallel smoke =="
 ctest --test-dir "$build_dir" -R simsan_selfcheck --output-on-failure
 "$build_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on > /dev/null
+# Partitioned engine smoke: two partitions on two host workers must run the
+# same bench clean (the byte-identity gate proper is ctest
+# `parallel_byte_identity`, part of stage 1).
+"$build_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on \
+  --partitions=2 --workers=2 > /dev/null
 
 echo "== [3/4] lint =="
 "$repo_root"/bench/check_lint.sh

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Byte-identity gate for the partitioned parallel engine: every figure
+# bench, run with --partitions=2, must produce byte-for-byte identical
+# output (tables, CSV, simsan report) at --workers=1 and --workers=2.
+# Worker count may only change wall-clock time, never the schedule.
+#
+# Usage: bench/check_parallel.sh [build-dir]   (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+mkdir -p "$tmp/w1" "$tmp/w2"
+
+for bench in fig3_locking fig5_concurrent fig6_pioman fig7_waiting \
+             fig8_affinity fig9_offload; do
+  echo "== check_parallel: $bench =="
+  # Same CSV basename on both sides: the benches echo the path to stdout,
+  # and stdout is part of the byte-for-byte comparison.
+  (cd "$tmp/w1" && "$build_dir"/bench/"$bench" --iters=5 --warmup=1 \
+      --simsan=on --partitions=2 --workers=1 --csv=out.csv > out.txt)
+  (cd "$tmp/w2" && "$build_dir"/bench/"$bench" --iters=5 --warmup=1 \
+      --simsan=on --partitions=2 --workers=2 --csv=out.csv > out.txt)
+  cmp "$tmp/w1/out.csv" "$tmp/w2/out.csv" || {
+    echo "check_parallel: $bench CSV differs between workers=1 and workers=2" >&2
+    exit 1
+  }
+  cmp "$tmp/w1/out.txt" "$tmp/w2/out.txt" || {
+    echo "check_parallel: $bench stdout differs between workers=1 and workers=2" >&2
+    exit 1
+  }
+done
+
+echo "check_parallel: workers=1 and workers=2 outputs byte-identical"

@@ -5,11 +5,13 @@
 # The zero-copy data path hands pooled slabs across layers (strategy ->
 # NIC -> matching -> adoption) by reference; ASan/UBSan is the memory-safety
 # gate for that plumbing. The TSan pass exercises the ucontext fiber
-# backend with TSan's fiber annotations (PM2SIM_SANITIZE=tsan forces it):
-# the simulator is single-host-threaded, so a clean run certifies the
-# fiber-switch bookkeeping, not application-level locking -- that is what
-# simsan (src/simsan/) analyzes. Separate build trees keep the regular
-# build untouched.
+# backend with TSan's fiber annotations (PM2SIM_SANITIZE=tsan forces it)
+# AND the partitioned parallel engine: the ParallelEngine/ParallelCluster
+# suites plus the explicit multi-worker bench run below put real host
+# threads on the window barrier, the cross-partition mailboxes and the
+# sharded singletons. Simulated application-level locking is what simsan
+# (src/simsan/) analyzes. Separate build trees keep the regular build
+# untouched.
 #
 # Usage: bench/check_sanitize.sh [asan-build-dir [tsan-build-dir]]
 #        (defaults: ./build-asan ./build-tsan)
@@ -36,4 +38,15 @@ cmake --build "$tsan_dir" -j"$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$tsan_dir" -j"$(nproc)" --output-on-failure
 
-echo "sanitizer suite clean (asan+ubsan, tsan)"
+# Parallel-mode pass under TSan: the engine/cluster suites that drive
+# multiple host workers, then a whole figure bench at workers=2 (simsan
+# analysis included) so the full stack crosses the window barrier.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$tsan_dir"/tests/test_simcore --gtest_filter='ParallelEngine.*'
+TSAN_OPTIONS="halt_on_error=1" \
+  "$tsan_dir"/tests/test_nmad_units --gtest_filter='ParallelCluster.*'
+TSAN_OPTIONS="halt_on_error=1" \
+  "$tsan_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on \
+  --partitions=2 --workers=2 > /dev/null
+
+echo "sanitizer suite clean (asan+ubsan, tsan incl. parallel engine)"

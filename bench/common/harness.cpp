@@ -218,6 +218,10 @@ BenchArgs parse_args(int argc, char** argv) {
     } else if (std::strncmp(a, "--simsan=", 9) == 0) {
       const char* v = a + 9;
       args.simsan = std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0;
+    } else if (std::strncmp(a, "--partitions=", 13) == 0) {
+      args.partitions = std::atoi(a + 13);
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      args.workers = std::atoi(a + 10);
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", a);
     }
@@ -225,11 +229,15 @@ BenchArgs parse_args(int argc, char** argv) {
   return args;
 }
 
+void apply_parallel(const BenchArgs& args, nm::ClusterConfig& cfg) {
+  cfg.partitions = args.partitions;
+  cfg.workers = args.workers;
+}
+
 std::size_t run_simsan_report(const BenchArgs& args, const std::string& label,
                               const nm::ClusterConfig& cfg) {
   if (!args.simsan) return 0;
 
-  auto& an = san::Analyzer::global();
   constexpr std::size_t kSize = 64;
   constexpr int kIters = 50;
   constexpr int kStreams = 2;
@@ -288,9 +296,11 @@ std::size_t run_simsan_report(const BenchArgs& args, const std::string& label,
 
     world.run();
     std::printf("\n== simsan [%s] ==\n", label.c_str());
-    an.print_report(stdout);
+    // Merged across analyzer shards (one per engine partition), in shard
+    // index order -- byte-identical for any worker count.
+    san::Analyzer::merged_print_report(stdout);
   }  // ~Cluster disables the analyzer; findings stay readable
-  return an.total_findings();
+  return san::Analyzer::merged_total_findings();
 }
 
 void write_metrics_report(const BenchArgs& args, const nm::ClusterConfig& cfg) {

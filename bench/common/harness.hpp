@@ -57,10 +57,17 @@ void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
                const std::vector<Series>& series);
 
 /// Tiny argv parser shared by the figure benches: recognizes
-/// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH, --simsan=on|off.
+/// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH, --simsan=on|off,
+/// --partitions=N, --workers=N.
 struct BenchArgs {
   int iters = 200;
   int warmup = 20;
+  /// Engine partitions / host worker threads for every world the bench
+  /// builds (ClusterConfig::partitions/workers). Defaults 1/1 = the
+  /// single-threaded reference engine. At a fixed partition count, results
+  /// are byte-identical for any worker count.
+  int partitions = 1;
+  int workers = 1;
   std::string csv;
   /// When set, run one instrumented pingpong after the sweep and write a
   /// metrics + flow-stage report (JSON) here, plus a Perfetto timeline with
@@ -73,6 +80,11 @@ struct BenchArgs {
   bool simsan = false;
 };
 BenchArgs parse_args(int argc, char** argv);
+
+/// Copy the parallel-engine knobs (--partitions/--workers) into a cluster
+/// config. Every fig bench calls this on each config it builds so existing
+/// sweeps can opt in from the command line.
+void apply_parallel(const BenchArgs& args, nm::ClusterConfig& cfg);
 
 /// Honour --simsan=on: run a two-stream blocking pingpong on @p cfg under
 /// the simsan analyzer (a separate world, after the sweep) and print the

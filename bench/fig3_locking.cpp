@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
                        Cfg{"coarse-grain", nm::LockMode::kCoarse},
                        Cfg{"fine-grain", nm::LockMode::kFine}}) {
     nm::ClusterConfig cfg;
+    bench::apply_parallel(args, cfg);
     cfg.nm.lock = c.lock;
     cfg.nm.wait = nm::WaitMode::kBusy;
     cfg.nm.progress = nm::ProgressMode::kAppDriven;
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
                        Cfg{"coarse-grain", nm::LockMode::kCoarse},
                        Cfg{"fine-grain", nm::LockMode::kFine}}) {
     nm::ClusterConfig cfg;
+    bench::apply_parallel(args, cfg);
     cfg.nm.lock = c.lock;
     cfg.nm.wait = nm::WaitMode::kBusy;
     cfg.nm.progress = nm::ProgressMode::kAppDriven;
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
 
   // --metrics-out: instrumented run on the coarse-grain configuration.
   nm::ClusterConfig mcfg;
+  bench::apply_parallel(args, mcfg);
   mcfg.nm.lock = nm::LockMode::kCoarse;
   mcfg.nm.wait = nm::WaitMode::kBusy;
   mcfg.nm.progress = nm::ProgressMode::kAppDriven;

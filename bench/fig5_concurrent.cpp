@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   single.warmup = args.warmup;
 
   nm::ClusterConfig fine;
+  bench::apply_parallel(args, fine);
   fine.nm.lock = nm::LockMode::kFine;
   nm::ClusterConfig coarse;
+  bench::apply_parallel(args, coarse);
   coarse.nm.lock = nm::LockMode::kCoarse;
 
   std::vector<bench::Series> series;

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                        Cfg{"PIOMan (coarse)", nm::LockMode::kCoarse, true},
                        Cfg{"PIOMan (fine)", nm::LockMode::kFine, true}}) {
     nm::ClusterConfig cfg;
+    bench::apply_parallel(args, cfg);
     cfg.nm.lock = c.lock;
     cfg.nm.wait = nm::WaitMode::kBusy;
     if (c.pioman) {
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
 
   // --metrics-out: instrumented run on the PIOMan (coarse) configuration.
   nm::ClusterConfig mcfg;
+  bench::apply_parallel(args, mcfg);
   mcfg.nm.lock = nm::LockMode::kCoarse;
   mcfg.nm.wait = nm::WaitMode::kBusy;
   mcfg.nm.progress = nm::ProgressMode::kPiomanHooks;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
         Cfg{"fixed-spin (coarse)", nm::LockMode::kCoarse, nm::WaitMode::kFixedSpin},
         Cfg{"fixed-spin (fine)", nm::LockMode::kFine, nm::WaitMode::kFixedSpin}}) {
     nm::ClusterConfig cfg;
+    bench::apply_parallel(args, cfg);
     cfg.nm.lock = c.lock;
     cfg.nm.wait = c.wait;
     // All variants poll through PIOMan: passive waiting depends on it (the
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
   // --metrics-out: instrumented run on the passive (coarse) configuration
   // (context switches per round are the interesting number here).
   nm::ClusterConfig mcfg;
+  bench::apply_parallel(args, mcfg);
   mcfg.nm.lock = nm::LockMode::kCoarse;
   mcfg.nm.wait = nm::WaitMode::kPassive;
   mcfg.nm.progress = nm::ProgressMode::kPiomanHooks;

@@ -14,12 +14,13 @@ using namespace pm2;
 
 namespace {
 
-bench::Series run_affinity(const char* label, int poll_cpu,
-                           const mach::CacheTopology& topo,
+bench::Series run_affinity(const bench::BenchArgs& args, const char* label,
+                           int poll_cpu, const mach::CacheTopology& topo,
                            const mach::CostBook& costs,
                            const std::vector<std::size_t>& sizes,
                            const bench::PingpongOptions& base) {
   nm::ClusterConfig cfg;
+  bench::apply_parallel(args, cfg);
   cfg.topology = topo;
   cfg.costs = costs;
   cfg.nm.lock = nm::LockMode::kFine;
@@ -71,10 +72,10 @@ int main(int argc, char** argv) {
     const auto topo = mach::CacheTopology::quad_core();
     const auto costs = mach::CostBook::xeon_quad();
     std::vector<bench::Series> series;
-    series.push_back(run_affinity("cpu 0 (same core)", 0, topo, costs, sizes, opt));
-    series.push_back(run_affinity("cpu 1 (shared cache)", 1, topo, costs, sizes, opt));
-    series.push_back(run_affinity("cpu 2 (no shared)", 2, topo, costs, sizes, opt));
-    series.push_back(run_affinity("cpu 3 (no shared)", 3, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 0 (same core)", 0, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 1 (shared cache)", 1, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 2 (no shared)", 2, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 3 (no shared)", 3, topo, costs, sizes, opt));
     report("Fig. 8: polling-core placement, quad-core node (one-way, us)",
            series, sizes);
     std::printf("\npaper (quad-core): cpu1 +400 ns, cpu2/cpu3 +1.2 us\n");
@@ -86,10 +87,10 @@ int main(int argc, char** argv) {
     const auto topo = mach::CacheTopology::dual_quad_core();
     const auto costs = mach::CostBook::xeon_dual_quad();
     std::vector<bench::Series> series;
-    series.push_back(run_affinity("cpu 0 (same core)", 0, topo, costs, sizes, opt));
-    series.push_back(run_affinity("cpu 1 (shared cache)", 1, topo, costs, sizes, opt));
-    series.push_back(run_affinity("cpu 2 (same chip)", 2, topo, costs, sizes, opt));
-    series.push_back(run_affinity("cpu 4 (other chip)", 4, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 0 (same core)", 0, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 1 (shared cache)", 1, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 2 (same chip)", 2, topo, costs, sizes, opt));
+    series.push_back(run_affinity(args, "cpu 4 (other chip)", 4, topo, costs, sizes, opt));
     report("Sec. 4.1: polling-core placement, dual quad-core node (one-way, us)",
            series, sizes);
     std::printf("\npaper (dual quad): shared cache +400 ns, same chip "
@@ -99,6 +100,7 @@ int main(int argc, char** argv) {
   // --metrics-out: instrumented run with a dedicated poll thread on the
   // shared-cache neighbour (the quad-core "cpu 1" series).
   nm::ClusterConfig mcfg;
+  bench::apply_parallel(args, mcfg);
   mcfg.nm.lock = nm::LockMode::kFine;
   mcfg.nm.wait = nm::WaitMode::kBusy;
   mcfg.nm.progress = nm::ProgressMode::kPollThread;

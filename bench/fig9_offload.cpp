@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
         Cfg{"offload w/o tasklets", nm::ProgressMode::kIdleCoreOffload},
         Cfg{"offload w/ tasklets", nm::ProgressMode::kTaskletOffload}}) {
     nm::ClusterConfig cfg;
+    bench::apply_parallel(args, cfg);
     cfg.nm.lock = nm::LockMode::kFine;
     cfg.nm.wait = nm::WaitMode::kBusy;
     cfg.nm.progress = c.progress;
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
 
   // --metrics-out: instrumented run on the tasklet-offload configuration.
   nm::ClusterConfig mcfg;
+  bench::apply_parallel(args, mcfg);
   mcfg.nm.lock = nm::LockMode::kFine;
   mcfg.nm.wait = nm::WaitMode::kBusy;
   mcfg.nm.progress = nm::ProgressMode::kTaskletOffload;

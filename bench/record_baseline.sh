@@ -51,6 +51,19 @@ awk '
   }
 ' "$repo_root/BENCH_engine.json"
 
+# Partitioned-engine scaling: parallelism is the unlimited-core speedup
+# bound (total events / busiest partition), est_speedup the bound at the
+# run's worker count. On a single-core host only these bounds -- not
+# wall-clock time -- show what the partitioning buys.
+awk '
+  /"name": "BM_ParallelEngine\/[0-9]+_median"/ { want = 1; name = $2 }
+  want && /"est_speedup":/ {
+    gsub(/[",]/, "", name); gsub(/,/, "", $2)
+    printf "  %-34s est_speedup %.2f\n", name, $2
+    want = 0
+  }
+' "$repo_root/BENCH_engine.json"
+
 overhead_bin="$build_dir/bench/metrics_overhead"
 if [ -x "$overhead_bin" ]; then
   echo "checking metrics hot-path overhead (<3%):"

@@ -1,7 +1,9 @@
 #include "nmad/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "simnet/buffer_pool.hpp"
 #include "simsan/simsan.hpp"
 
 namespace pm2::nm {
@@ -9,6 +11,32 @@ namespace pm2::nm {
 Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.nodes < 1) throw std::invalid_argument("Cluster: nodes < 1");
   if (cfg_.rails.empty()) throw std::invalid_argument("Cluster: no rails");
+  if (cfg_.partitions < 1) throw std::invalid_argument("Cluster: partitions < 1");
+  if (cfg_.workers < 1) throw std::invalid_argument("Cluster: workers < 1");
+
+  // Partition the engine before anything schedules an event. The lookahead
+  // is the minimum virtual time any packet spends between leaving one
+  // node's control (DMA start) and entering another's (rx delivery) --
+  // exactly the slack the conservative window synchronization needs.
+  const int parts = std::min(cfg_.partitions, cfg_.nodes);
+  if (parts > 1) {
+    sim::Time lookahead = sim::kTimeInfinity;
+    for (const auto& rail : cfg_.rails) {
+      lookahead = std::min(lookahead, rail.tx_dma_delay + rail.wire_latency +
+                                          rail.rx_deliver_delay);
+    }
+    if (lookahead <= 0) {
+      throw std::invalid_argument(
+          "Cluster: partitions > 1 needs a positive minimum wire delay "
+          "(tx_dma_delay + wire_latency + rx_deliver_delay) for lookahead");
+    }
+    engine_.configure_partitions(parts, lookahead);
+  }
+  engine_.set_workers(cfg_.workers);
+  // Shard the partition-aware singletons, and make sure the pool's metric
+  // registration happens now, on the setup thread, not mid-run.
+  obs::MetricsRegistry::global().set_shards(parts);
+  net::BufferPool::global();
 
   const bool hooks = cfg_.pioman_hooks ||
                      cfg_.nm.progress == ProgressMode::kPiomanHooks ||
@@ -20,6 +48,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   }
 
   for (int n = 0; n < cfg_.nodes; ++n) {
+    // Everything a node owns -- including its NIC's fabric port -- lives in
+    // its partition: events the components schedule during construction and
+    // operation land in that partition's heap.
+    sim::Engine::PartitionScope scope(engine_, partition_of(n));
     auto node = std::make_unique<Node>();
     node->machine = std::make_unique<mach::Machine>(
         engine_, "node" + std::to_string(n), cfg_.topology, cfg_.costs);
@@ -46,6 +78,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
 
   // Full mesh of gates.
   for (int a = 0; a < cfg_.nodes; ++a) {
+    sim::Engine::PartitionScope scope(engine_, partition_of(a));
     for (int b = 0; b < cfg_.nodes; ++b) {
       if (a == b) continue;
       std::vector<int> peer_ports(cfg_.rails.size(), b);
@@ -56,20 +89,29 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
 
 Cluster::~Cluster() {
   if (simsan_owner_) {
-    // The now-fn captures this cluster's engine; detach before it dangles.
-    // Findings stay readable (set_enabled(false) does not clear them).
-    auto& an = san::Analyzer::global();
-    an.set_enabled(false);
-    an.set_now_fn(nullptr);
+    // The now-fns capture this cluster's engine; detach before they
+    // dangle. Findings stay readable (set_enabled(false) does not clear).
+    for (int i = 0; i < san::Analyzer::num_shards(); ++i) {
+      auto& an = san::Analyzer::shard(i);
+      an.set_enabled(false);
+      an.set_now_fn(nullptr);
+    }
   }
 }
 
 void Cluster::enable_simsan() {
-  auto& an = san::Analyzer::global();
-  an.reset();
-  an.set_now_fn(
-      [this] { return static_cast<std::uint64_t>(engine_.now()); });
-  an.set_enabled(true);
+  san::Analyzer::configure_shards(engine_.num_partitions());
+  // Reset/enable every existing shard (shards beyond this engine's
+  // partition count simply stay idle): the engine's now() resolves through
+  // the calling thread's partition, so each shard stamps findings with its
+  // own partition's virtual clock.
+  for (int i = 0; i < san::Analyzer::num_shards(); ++i) {
+    auto& an = san::Analyzer::shard(i);
+    an.reset();
+    an.set_now_fn(
+        [this] { return static_cast<std::uint64_t>(engine_.now()); });
+    an.set_enabled(true);
+  }
   simsan_owner_ = true;
 }
 
@@ -113,6 +155,8 @@ mth::Thread* Cluster::spawn(int node, std::function<void()> fn,
   mth::ThreadAttrs attrs;
   attrs.name = name;
   attrs.bind_core = bind_core;
+  // The spawn event must land in the node's partition.
+  sim::Engine::PartitionScope scope(engine_, partition_of(node));
   return sched(node).spawn(std::move(fn), attrs);
 }
 

@@ -35,6 +35,17 @@ struct ClusterConfig {
   bool pioman_hooks = false;
   /// Restrict hook-driven polling to this core (-1 = any). See Fig. 6/8.
   int pioman_poll_core = -1;
+  /// Engine partitioning: the nodes are spread over this many event-heap
+  /// partitions (node n lives in partition n % partitions; clamped to the
+  /// node count), synchronized with conservative lookahead equal to the
+  /// minimum rail wire delay. 1 (default) is the reference single-heap
+  /// engine. NOTE: the partition count is part of the schedule -- compare
+  /// results at equal partition counts.
+  int partitions = 1;
+  /// Host worker threads executing the partitions (clamped to the
+  /// partition count). Any value produces the identical schedule; > 1 uses
+  /// real threads.
+  int workers = 1;
 };
 
 class Cluster {
@@ -48,6 +59,12 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
   sim::Engine& engine() { return engine_; }
   int num_nodes() const { return cfg_.nodes; }
+
+  /// Engine partition hosting @p node (0 when unpartitioned).
+  int partition_of(int node) const {
+    const int p = engine_.num_partitions();
+    return p > 1 ? node % p : 0;
+  }
 
   mach::Machine& machine(int node) { return *nodes_.at(static_cast<std::size_t>(node))->machine; }
   mth::Scheduler& sched(int node) { return *nodes_.at(static_cast<std::size_t>(node))->sched; }
@@ -84,10 +101,12 @@ class Cluster {
 
   obs::FlowTracer* flow_trace() { return flow_.get(); }
 
-  /// Start a fresh simsan analysis run over this world: resets the global
-  /// analyzer, routes report timestamps to this cluster's virtual clock and
-  /// enables all event taps. Findings accumulate in san::Analyzer::global()
-  /// (and in the "simsan" metrics-registry counters) until the next
+  /// Start a fresh simsan analysis run over this world: resets the analyzer
+  /// shards (one per engine partition), routes report timestamps to this
+  /// cluster's virtual clock and enables all event taps. Findings accumulate
+  /// per shard (read merged via san::Analyzer::merged_print_report /
+  /// merged_report_json, or san::Analyzer::global() in single-partition
+  /// worlds) and in the "simsan" metrics-registry counters until the next
   /// enable/reset. The analyzer is process-global: analyze one world at a
   /// time. Disabled again when this cluster is destroyed.
   void enable_simsan();

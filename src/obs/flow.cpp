@@ -1,5 +1,6 @@
 #include "obs/flow.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "simcore/chrome_trace.hpp"
@@ -31,6 +32,7 @@ const char* flow_segment_name(int i) {
 
 void FlowTracer::stamp(std::uint64_t id, FlowStage stage, sim::Time t,
                        int node, int core) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, fresh] = flows_.try_emplace(id);
   if (fresh) {
     it->second.id = id;
@@ -74,13 +76,30 @@ const FlowTracer::Flow* FlowTracer::find(std::uint64_t id) const {
   return it == flows_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::uint64_t> FlowTracer::canonical_order() const {
+  std::vector<std::uint64_t> ids = order_;
+  std::sort(ids.begin(), ids.end(),
+            [this](std::uint64_t a, std::uint64_t b) {
+              const Flow& fa = flows_.at(a);
+              const Flow& fb = flows_.at(b);
+              const int post = static_cast<int>(FlowStage::kPost);
+              const sim::Time ta =
+                  fa.seen[post] ? fa.ts[post] : sim::kTimeInfinity;
+              const sim::Time tb =
+                  fb.seen[post] ? fb.ts[post] : sim::kTimeInfinity;
+              if (ta != tb) return ta < tb;
+              return a < b;
+            });
+  return ids;
+}
+
 std::vector<FlowTracer::Segment> FlowTracer::breakdown() const {
   std::vector<Segment> segs;
   segs.reserve(kFlowStageCount - 1);
   for (int i = 1; i < kFlowStageCount; ++i) {
     segs.push_back(Segment{flow_segment_name(i), {}});
   }
-  for (std::uint64_t id : order_) {
+  for (std::uint64_t id : canonical_order()) {
     const Flow& f = flows_.at(id);
     if (!f.complete()) continue;
     for (int i = 1; i < kFlowStageCount; ++i) {
@@ -93,7 +112,7 @@ std::vector<FlowTracer::Segment> FlowTracer::breakdown() const {
 
 sim::SampleSet FlowTracer::end_to_end_us() const {
   sim::SampleSet s;
-  for (std::uint64_t id : order_) {
+  for (std::uint64_t id : canonical_order()) {
     const Flow& f = flows_.at(id);
     if (!f.complete()) continue;
     s.add(sim::to_us(f.ts[kFlowStageCount - 1] - f.ts[0]));

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,6 +76,10 @@ class FlowTracer {
   /// (node, core). Multi-chunk messages stamp a stage repeatedly; the last
   /// stamp wins (stages mean "the *message* finished this stage"), while
   /// the ChromeTrace flow event is emitted on the first stamp only.
+  /// Thread-safe: partitions on different host threads stamp concurrently
+  /// (each (id, stage) still comes from one partition, so last-stamp-wins
+  /// stays deterministic). The read/export methods are not locked -- call
+  /// them after the run, from one thread.
   void stamp(std::uint64_t id, FlowStage stage, sim::Time t, int node,
              int core);
 
@@ -91,6 +96,10 @@ class FlowTracer {
 
   std::size_t flow_count() const { return order_.size(); }
   std::size_t completed_count() const;
+  /// First-stamp order. Deterministic in single-partition worlds; in
+  /// partitioned runs it depends on host-thread interleaving, which is why
+  /// the statistics below iterate in canonical (post-time, id) order
+  /// instead.
   const std::vector<std::uint64_t>& ids() const { return order_; }
   /// nullptr if @p id was never stamped.
   const Flow* find(std::uint64_t id) const;
@@ -114,6 +123,12 @@ class FlowTracer {
   std::string to_table() const;
 
  private:
+  /// Flow ids sorted by (kPost stamp time, id): a virtual-time property,
+  /// so aggregate statistics accumulate in the same order -- and float the
+  /// same way -- no matter how many host threads ran the simulation.
+  std::vector<std::uint64_t> canonical_order() const;
+
+  std::mutex mu_;  ///< guards flows_/order_/trace_ during stamp()
   sim::ChromeTrace* trace_ = nullptr;
   std::unordered_map<std::uint64_t, Flow> flows_;
   std::vector<std::uint64_t> order_;

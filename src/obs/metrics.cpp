@@ -60,6 +60,35 @@ MetricsRegistry& MetricsRegistry::global() {
   return g;
 }
 
+void MetricsRegistry::set_shards(int n) {
+  const std::size_t extra = n > 1 ? static_cast<std::size_t>(n - 1) : 0;
+  while (shards_.size() < extra) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::uint32_t idx) const {
+  std::uint64_t total = counters_[idx];
+  for (const auto& sh : shards_) {
+    if (idx < sh->counters.size()) total += sh->counters[idx];
+  }
+  return total;
+}
+
+MetricsRegistry::HistSlot MetricsRegistry::hist_total(
+    std::uint32_t idx) const {
+  HistSlot total = hists_[idx];
+  for (const auto& sh : shards_) {
+    if (idx >= sh->hists.size()) continue;
+    const HistSlot& h = sh->hists[idx];
+    if (h.count == 0) continue;
+    if (total.count == 0 || h.min < total.min) total.min = h.min;
+    if (h.max > total.max) total.max = h.max;
+    total.count += h.count;
+    total.sum += h.sum;
+    for (int b = 0; b < 64; ++b) total.buckets[b] += h.buckets[b];
+  }
+  return total;
+}
+
 std::string MetricsRegistry::key_of(const std::string& component,
                                     const std::string& node, int core,
                                     const std::string& name) {
@@ -82,6 +111,9 @@ Counter MetricsRegistry::counter(const MetricSpec& spec) {
   auto it = counter_keys_.find(key);
   if (it != counter_keys_.end()) {
     counters_[it->second] = 0;  // fresh instance, fresh count
+    for (auto& sh : shards_) {
+      if (it->second < sh->counters.size()) sh->counters[it->second] = 0;
+    }
     return Counter(it->second);
   }
   const auto idx = static_cast<std::uint32_t>(counters_.size());
@@ -110,6 +142,9 @@ HistogramMetric MetricsRegistry::histogram(const MetricSpec& spec) {
   auto it = hist_keys_.find(key);
   if (it != hist_keys_.end()) {
     hists_[it->second] = HistSlot{};
+    for (auto& sh : shards_) {
+      if (it->second < sh->hists.size()) sh->hists[it->second] = HistSlot{};
+    }
     return HistogramMetric(it->second);
   }
   const auto idx = static_cast<std::uint32_t>(hists_.size());
@@ -124,7 +159,7 @@ std::optional<std::uint64_t> MetricsRegistry::counter_value(
     const std::string& name, int core) const {
   auto it = counter_keys_.find(key_of(component, node, core, name));
   if (it == counter_keys_.end()) return std::nullopt;
-  return counters_[it->second];
+  return counter_total(it->second);
 }
 
 std::optional<std::int64_t> MetricsRegistry::gauge_value(
@@ -140,13 +175,17 @@ std::optional<std::uint64_t> MetricsRegistry::histogram_count(
     const std::string& name, int core) const {
   auto it = hist_keys_.find(key_of(component, node, core, name));
   if (it == hist_keys_.end()) return std::nullopt;
-  return hists_[it->second].count;
+  return hist_total(it->second).count;
 }
 
 void MetricsRegistry::reset_values() {
   std::fill(counters_.begin(), counters_.end(), 0);
   std::fill(gauges_.begin(), gauges_.end(), GaugeSlot{});
   std::fill(hists_.begin(), hists_.end(), HistSlot{});
+  for (auto& sh : shards_) {
+    sh->counters.clear();  // lazily regrown on next sharded write
+    sh->hists.clear();
+  }
 }
 
 std::string MetricsRegistry::to_json() const {
@@ -158,8 +197,10 @@ std::string MetricsRegistry::to_json() const {
     first = false;
     out += "\n{";
     append_spec(out, counter_specs_[i]);
-    std::snprintf(buf, sizeof(buf), ",\"value\":%llu}",
-                  static_cast<unsigned long long>(counters_[i]));
+    std::snprintf(
+        buf, sizeof(buf), ",\"value\":%llu}",
+        static_cast<unsigned long long>(
+            counter_total(static_cast<std::uint32_t>(i))));
     out += buf;
   }
   out += "\n],\"gauges\":[";
@@ -181,7 +222,7 @@ std::string MetricsRegistry::to_json() const {
     first = false;
     out += "\n{";
     append_spec(out, hist_specs_[i]);
-    const HistSlot& h = hists_[i];
+    const HistSlot h = hist_total(static_cast<std::uint32_t>(i));
     std::snprintf(buf, sizeof(buf),
                   ",\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu",
                   static_cast<unsigned long long>(h.count),
@@ -218,7 +259,8 @@ std::string MetricsRegistry::to_table() const {
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%-*s %20llu\n", static_cast<int>(width),
                   display_key(counter_specs_[i]).c_str(),
-                  static_cast<unsigned long long>(counters_[i]));
+                  static_cast<unsigned long long>(
+                      counter_total(static_cast<std::uint32_t>(i))));
     out += buf;
   }
   for (std::size_t i = 0; i < gauges_.size(); ++i) {
@@ -230,7 +272,7 @@ std::string MetricsRegistry::to_table() const {
     out += buf;
   }
   for (std::size_t i = 0; i < hists_.size(); ++i) {
-    const HistSlot& h = hists_[i];
+    const HistSlot h = hist_total(static_cast<std::uint32_t>(i));
     const double mean =
         h.count == 0 ? 0.0
                      : static_cast<double>(h.sum) / static_cast<double>(h.count);

@@ -17,13 +17,26 @@
 // The registry is never consulted for simulation decisions and instruments
 // are host-side only (no virtual-time charges), so enabling it cannot
 // perturb virtual-time results.
+// With the partitioned engine, events of different partitions execute on
+// different host threads concurrently. Counters and histograms are therefore
+// *sharded*: shard 0 is the original flat arrays, and each additional
+// partition writes a private shard selected through sim::tls_partition --
+// still one branch + one array store on the hot path, with no atomics and no
+// false sharing. Every read path (value(), lookups, to_json, to_table) sums
+// the shards, so reports are identical to the unsharded registry. Gauges are
+// not sharded: every in-tree gauge has a single owning component, which
+// lives in exactly one partition.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "simcore/partition.hpp"
 
 namespace pm2::obs {
 
@@ -52,6 +65,12 @@ class MetricsRegistry {
   /// The sink switch: instruments store only while enabled.
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
+
+  /// Size the write shards for @p n engine partitions (shard 0 is the
+  /// primary store; partitions 1..n-1 get private shards). Never shrinks,
+  /// so stale partition ids stay in range between worlds; shard contents
+  /// are zeroed by re-registration and reset_values() like the primary.
+  void set_shards(int n);
 
   /// Register (or re-acquire, zeroing the slot) an instrument.
   Counter counter(const MetricSpec& spec);
@@ -109,12 +128,47 @@ class MetricsRegistry {
     std::uint64_t buckets[64] = {};
   };
 
+  /// One partition's private write store (lazily sized on first write, so
+  /// registration order and shard count are independent).
+  struct Shard {
+    std::vector<std::uint64_t> counters;
+    std::vector<HistSlot> hists;
+  };
+
+  /// Cell the calling thread's counter writes land in.
+  std::uint64_t& counter_cell(std::uint32_t idx) {
+    const int s = sim::tls_partition;
+    if (s <= 0 || shards_.empty()) return counters_[idx];
+    auto& v = shard(s).counters;
+    if (v.size() <= idx) v.resize(std::max(counters_.size(), idx + 1ul), 0);
+    return v[idx];
+  }
+
+  /// Slot the calling thread's histogram writes land in.
+  HistSlot& hist_cell(std::uint32_t idx) {
+    const int s = sim::tls_partition;
+    if (s <= 0 || shards_.empty()) return hists_[idx];
+    auto& v = shard(s).hists;
+    if (v.size() <= idx) v.resize(std::max(hists_.size(), idx + 1ul));
+    return v[idx];
+  }
+
+  Shard& shard(int partition) {
+    const std::size_t i =
+        std::min(static_cast<std::size_t>(partition), shards_.size()) - 1;
+    return *shards_[i];
+  }
+
+  std::uint64_t counter_total(std::uint32_t idx) const;
+  HistSlot hist_total(std::uint32_t idx) const;
+
   static std::string key_of(const MetricSpec& spec);
   static std::string key_of(const std::string& component,
                             const std::string& node, int core,
                             const std::string& name);
 
   bool enabled_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< partitions 1..n-1
 
   std::vector<std::uint64_t> counters_;
   std::vector<MetricSpec> counter_specs_;
@@ -141,7 +195,7 @@ class Counter {
   /// Hot path: branch + array add while the registry is enabled.
   void inc(std::uint64_t delta = 1) {
     MetricsRegistry& r = MetricsRegistry::global();
-    if (r.enabled_ && idx_ != kInvalidMetric) r.counters_[idx_] += delta;
+    if (r.enabled_ && idx_ != kInvalidMetric) r.counter_cell(idx_) += delta;
   }
 
   /// Unconditional add, for counters whose call sites predate the registry
@@ -149,12 +203,13 @@ class Counter {
   /// store; independent of enabled().
   void add_always(std::uint64_t delta = 1) {
     if (idx_ != kInvalidMetric)
-      MetricsRegistry::global().counters_[idx_] += delta;
+      MetricsRegistry::global().counter_cell(idx_) += delta;
   }
 
   std::uint64_t value() const {
-    return idx_ != kInvalidMetric ? MetricsRegistry::global().counters_[idx_]
-                                  : 0;
+    return idx_ != kInvalidMetric
+               ? MetricsRegistry::global().counter_total(idx_)
+               : 0;
   }
   operator std::uint64_t() const { return value(); }
 
@@ -206,7 +261,7 @@ class HistogramMetric {
   void observe(std::uint64_t v) {
     MetricsRegistry& r = MetricsRegistry::global();
     if (r.enabled_ && idx_ != kInvalidMetric) {
-      auto& slot = r.hists_[idx_];
+      auto& slot = r.hist_cell(idx_);
       if (slot.count == 0 || v < slot.min) slot.min = v;
       if (v > slot.max) slot.max = v;
       ++slot.count;
@@ -216,12 +271,14 @@ class HistogramMetric {
   }
 
   std::uint64_t count() const {
-    return idx_ != kInvalidMetric ? MetricsRegistry::global().hists_[idx_].count
-                                  : 0;
+    return idx_ != kInvalidMetric
+               ? MetricsRegistry::global().hist_total(idx_).count
+               : 0;
   }
   std::uint64_t sum() const {
-    return idx_ != kInvalidMetric ? MetricsRegistry::global().hists_[idx_].sum
-                                  : 0;
+    return idx_ != kInvalidMetric
+               ? MetricsRegistry::global().hist_total(idx_).sum
+               : 0;
   }
   double mean() const {
     const std::uint64_t n = count();

@@ -1,6 +1,7 @@
 #include "simcore/chrome_trace.hpp"
 
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,43 +37,51 @@ double to_trace_us(Time t) { return static_cast<double>(t) / 1e3; }
 void ChromeTrace::complete_event(const std::string& name,
                                  const std::string& category, int pid, int tid,
                                  Time start, Time duration) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'X', name, category, pid, tid, start, duration, 0, {}});
 }
 
 void ChromeTrace::instant_event(const std::string& name,
                                 const std::string& category, int pid, int tid,
                                 Time t) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'i', name, category, pid, tid, t, 0, 0, {}});
 }
 
 void ChromeTrace::counter_event(const std::string& name, int pid, Time t,
                                 double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'C', name, "counter", pid, 0, t, 0, value, {}});
 }
 
 void ChromeTrace::flow_begin(const std::string& name,
                              const std::string& category, int pid, int tid,
                              Time t, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'s', name, category, pid, tid, t, 0, 0, {}, id});
 }
 
 void ChromeTrace::flow_step(const std::string& name,
                             const std::string& category, int pid, int tid,
                             Time t, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'t', name, category, pid, tid, t, 0, 0, {}, id});
 }
 
 void ChromeTrace::flow_end(const std::string& name,
                            const std::string& category, int pid, int tid,
                            Time t, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'f', name, category, pid, tid, t, 0, 0, {}, id});
 }
 
 void ChromeTrace::set_process_name(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'M', name, {}, pid, 0, 0, 0, 0, "process_name"});
 }
 
 void ChromeTrace::set_thread_name(int pid, int tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{'M', name, {}, pid, tid, 0, 0, 0, "thread_name"});
 }
 

@@ -4,9 +4,17 @@
 // trace-event JSON format (load in chrome://tracing or https://ui.perfetto.dev):
 // processes = simulated nodes, threads = cores. The scheduler and the NICs
 // feed this when a Cluster has its timeline enabled.
+//
+// Recording is thread-safe (partitioned runs append from several host
+// threads). Every event carries its own virtual timestamp, so viewers
+// render identical timelines regardless of append order; the JSON byte
+// order, however, follows append order and is only reproducible for
+// single-worker runs -- which is why the byte-identity gate compares CSVs
+// and reports, not timelines.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,6 +72,7 @@ class ChromeTrace {
     std::string meta_kind;  // for 'M': "process_name" / "thread_name"
     std::uint64_t flow_id = 0;  // for 's'/'t'/'f'
   };
+  std::mutex mu_;
   std::vector<Event> events_;
 };
 

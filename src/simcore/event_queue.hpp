@@ -71,6 +71,7 @@ class EventHandle {
 
  private:
   friend class EventQueue;
+  friend class Engine;  // routes Engine::cancel to the owning queue
   EventHandle(EventQueue* queue, std::uint64_t key)
       : queue_(queue), key_(key) {}
 
@@ -79,8 +80,10 @@ class EventHandle {
 };
 
 /// Priority queue of timed callbacks with deterministic tie-breaking, lazy
-/// cancellation and slab-pooled slots. Not thread-safe: the whole simulation
-/// is single-threaded by design.
+/// cancellation and slab-pooled slots. Not thread-safe by itself: the
+/// partitioned engine gives each partition its own queue and guarantees one
+/// host thread touches it at a time (single-partition worlds are strictly
+/// single-threaded, as before).
 class EventQueue {
  public:
   using Callback = InplaceFunction<kEventCallbackCapacity>;

@@ -1,0 +1,35 @@
+// pm2sim -- partition identity of the executing host thread.
+//
+// The partitioned engine (engine.hpp) shards the simulated cluster into
+// partitions, each with its own event heap and virtual clock. Layers that
+// keep per-partition state (the metrics registry's counter shards, the
+// simsan analyzer shards) need to know which partition the current host
+// thread is animating *without* a reference to the engine -- so the id
+// lives in one thread-local integer, maintained by the engine around every
+// event it executes and by Engine::PartitionScope around world setup.
+//
+// Partition 0 is the default: the main thread outside any run, single-
+// partition worlds, and every pre-existing call site observe the same
+// behavior as before the engine was partitioned.
+#pragma once
+
+// Thread-locals on the simulation hot path are read from fiber stacks
+// (ucontext under the sanitizers, raw asm switches otherwise). Pin them to
+// the initial-exec TLS model and constant initialization so every access
+// compiles to a plain %fs-relative load -- the lazy TLS-init guard and
+// __tls_get_addr paths are not reliable from a fiber stack under
+// ASan/UBSan/TSan instrumentation.
+#if defined(__GNUC__) || defined(__clang__)
+#define PM2SIM_TLS_FAST __attribute__((tls_model("initial-exec")))
+#else
+#define PM2SIM_TLS_FAST
+#endif
+
+namespace pm2::sim {
+
+/// Partition the current host thread is executing for. Written only by the
+/// engine's run loops and Engine::PartitionScope; read by per-partition
+/// sharded singletons (obs::MetricsRegistry, san::Analyzer).
+PM2SIM_TLS_FAST inline thread_local constinit int tls_partition = 0;
+
+}  // namespace pm2::sim

@@ -84,6 +84,7 @@ BufferPool::~BufferPool() { trim(); }
 SlabRef BufferPool::acquire(std::size_t size) {
   const std::uint32_t b = bucket_of(size);
   assert(b < kNumBuckets);
+  std::lock_guard<std::mutex> lock(mu_);
   auto& list = free_[b];
   SlabRef::Slab* s;
   if (!list.empty()) {
@@ -111,12 +112,14 @@ SlabRef BufferPool::acquire(std::size_t size) {
 }
 
 void BufferPool::recycle(SlabRef::Slab* s) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(live_slabs_ > 0);
   --live_slabs_;
   free_[s->bucket].push_back(s);
 }
 
 void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& list : free_) {
     for (SlabRef::Slab* s : list) delete s;
     list.clear();
@@ -124,6 +127,7 @@ void BufferPool::trim() {
 }
 
 std::size_t BufferPool::idle_slabs() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& list : free_) n += list.size();
   return n;

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -25,8 +26,11 @@ namespace pm2::net {
 class BufferPool;
 
 /// Shared handle to one pooled slab. Copies share the slab; the slab
-/// returns to its pool's free list when the last handle drops. The
-/// simulator is single-host-threaded, so the refcount is plain.
+/// returns to its pool's free list when the last handle drops. The refcount
+/// is plain (not atomic): a slab's handles all live within one partition at
+/// a time -- cross-partition packet hand-off moves the ref through the
+/// engine's window barrier, and the pool's free lists are mutex-guarded, so
+/// recycling on one host thread happens-before reuse on another.
 class SlabRef {
  public:
   SlabRef() = default;
@@ -70,17 +74,33 @@ class BufferPool {
 
   // Host-side reuse statistics (always counted; the registry counters with
   // the same names only store while the registry is enabled).
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t bytes_reused() const { return bytes_reused_; }
-  std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::uint64_t bytes_reused() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_reused_;
+  }
+  std::uint64_t bytes_allocated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_allocated_;
+  }
   std::size_t idle_slabs() const;
-  std::size_t live_slabs() const { return live_slabs_; }
+  std::size_t live_slabs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_slabs_;
+  }
 
  private:
   friend class SlabRef;
   void recycle(SlabRef::Slab* s);
 
+  mutable std::mutex mu_;
   std::vector<std::vector<SlabRef::Slab*>> free_;  ///< per size class
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -38,10 +38,36 @@ Fabric::Fabric(sim::Engine& engine, std::string name)
 int Fabric::attach(Nic* nic) {
   ports_.push_back(nic);
   port_busy_until_.push_back(0);
+  port_partition_.push_back(engine_.current_partition());
   return static_cast<int>(ports_.size()) - 1;
 }
 
 void Fabric::deliver_at(sim::Time earliest, sim::Time occupancy, Packet pkt) {
+  if (engine_.num_partitions() > 1) {
+    // Partitioned engine: the port-contention clock belongs to the
+    // receiver's partition, so hop there first -- the earliest-arrival time
+    // is what carries the lookahead across the boundary -- and resolve
+    // incast serialization on the receiver's side, in arrival order.
+    const int dst_part =
+        port_partition_[static_cast<std::size_t>(pkt.dst_port)];
+    engine_.schedule_cross(
+        dst_part, earliest, [this, occupancy, p = std::move(pkt)]() mutable {
+          sim::Time& busy =
+              port_busy_until_[static_cast<std::size_t>(p.dst_port)];
+          const sim::Time now = engine_.now();
+          const sim::Time when = std::max(now, busy + occupancy);
+          busy = when;
+          Nic* dst = port(p.dst_port);
+          if (when == now) {
+            dst->enqueue_rx(std::move(p));
+          } else {
+            engine_.schedule_at(when, [dst, p2 = std::move(p)]() mutable {
+              dst->enqueue_rx(std::move(p2));
+            });
+          }
+        });
+    return;
+  }
   // Output-port contention: packets from different senders converging on
   // one port serialize on its egress link.
   sim::Time& busy = port_busy_until_[static_cast<std::size_t>(pkt.dst_port)];

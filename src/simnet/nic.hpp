@@ -59,6 +59,11 @@ class Fabric {
   std::string name_;
   std::vector<Nic*> ports_;
   std::vector<sim::Time> port_busy_until_;
+  /// Partition owning each port (recorded at attach time). In partitioned
+  /// worlds the wire hop is the only cross-partition edge: deliver_at hops
+  /// into the receiver's partition first, then resolves incast contention
+  /// against port_busy_until_ there, so that state stays single-owner.
+  std::vector<int> port_partition_;
 };
 
 /// Identifies an in-flight send; completes when the wire has absorbed the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 namespace pm2::san {
 
@@ -37,9 +38,104 @@ const char* to_string(FindingKind k) {
   return "?";
 }
 
+namespace {
+
+/// Shard store (leaked: tap sites may run from static destructors). Shard 0
+/// is created eagerly so pre-partitioned call sites see one instance.
+std::vector<std::unique_ptr<Analyzer>>& shard_store() {
+  static auto* shards = [] {
+    auto* s = new std::vector<std::unique_ptr<Analyzer>>();
+    s->push_back(std::make_unique<Analyzer>());
+    return s;
+  }();
+  return *shards;
+}
+
+}  // namespace
+
 Analyzer& Analyzer::global() {
-  static Analyzer instance;
-  return instance;
+  auto& shards = shard_store();
+  const int p = sim::tls_partition;
+  const std::size_t i =
+      p > 0 && static_cast<std::size_t>(p) < shards.size()
+          ? static_cast<std::size_t>(p)
+          : 0;
+  return *shards[i];
+}
+
+void Analyzer::configure_shards(int n) {
+  auto& shards = shard_store();
+  while (shards.size() < static_cast<std::size_t>(n > 1 ? n : 1)) {
+    shards.push_back(std::make_unique<Analyzer>());
+  }
+}
+
+int Analyzer::num_shards() {
+  return static_cast<int>(shard_store().size());
+}
+
+Analyzer& Analyzer::shard(int i) {
+  return *shard_store().at(static_cast<std::size_t>(i));
+}
+
+std::size_t Analyzer::merged_total_findings() {
+  std::size_t total = 0;
+  for (const auto& s : shard_store()) total += s->total_findings();
+  return total;
+}
+
+std::string Analyzer::merged_report_json() {
+  auto& shards = shard_store();
+  std::size_t races = 0, cycles = 0, ctx = 0;
+  for (const auto& s : shards) {
+    races += s->races_;
+    cycles += s->cycles_;
+    ctx += s->ctx_violations_;
+  }
+  std::string out = "{\"races\":" + std::to_string(races) +
+                    ",\"lock_order_cycles\":" + std::to_string(cycles) +
+                    ",\"context_violations\":" + std::to_string(ctx) +
+                    ",\"findings\":[";
+  bool first = true;
+  for (const auto& s : shards) {
+    for (const Finding& f : s->findings_) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"kind\":\"" + std::string(to_string(f.kind)) +
+             "\",\"rule\":\"" + json_escape(f.rule) +
+             "\",\"time_ns\":" + std::to_string(f.time_ns) +
+             ",\"message\":\"" + json_escape(f.message) + "\"}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void Analyzer::merged_print_report(std::FILE* out) {
+  auto& shards = shard_store();
+  std::size_t races = 0, cycles = 0, ctx = 0, recorded = 0;
+  for (const auto& s : shards) {
+    races += s->races_;
+    cycles += s->cycles_;
+    ctx += s->ctx_violations_;
+    recorded += s->findings_.size();
+  }
+  std::fprintf(out,
+               "simsan: %zu race(s), %zu lock-order cycle(s), %zu context "
+               "violation(s)\n",
+               races, cycles, ctx);
+  for (const auto& s : shards) {
+    for (const Finding& f : s->findings_) {
+      std::fprintf(out, "[simsan] t=%lluns %s (%s): %s\n",
+                   static_cast<unsigned long long>(f.time_ns),
+                   to_string(f.kind), f.rule.c_str(), f.message.c_str());
+    }
+  }
+  const std::size_t total = races + cycles + ctx;
+  if (total > recorded) {
+    std::fprintf(out, "[simsan] ... %zu further finding(s) not recorded\n",
+                 total - recorded);
+  }
 }
 
 void Analyzer::set_enabled(bool on) {

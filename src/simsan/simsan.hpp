@@ -105,8 +105,27 @@ class Shared {
 
 class Analyzer {
  public:
-  /// The process-global instance (the simulator is single-threaded).
+  /// The calling thread's analyzer shard. With the partitioned engine each
+  /// partition gets a private shard (selected via sim::tls_partition, like
+  /// the metrics registry's counter shards), so taps stay lock-free and
+  /// each shard's event stream -- coming from one partition's deterministic
+  /// schedule -- is itself deterministic. Single-partition worlds always
+  /// resolve to shard 0, the original process-global instance.
   static Analyzer& global();
+
+  /// Size the shard set for @p n engine partitions (never shrinks; shard 0
+  /// always exists). Installed by Cluster::enable_simsan.
+  static void configure_shards(int n);
+  static int num_shards();
+  static Analyzer& shard(int i);
+
+  /// Cross-shard report: totals summed and findings concatenated in shard
+  /// index order -- a partition-stable order, so the merged report is
+  /// byte-identical for any worker count (and identical to the single
+  /// instance's report when only shard 0 exists).
+  static std::size_t merged_total_findings();
+  static std::string merged_report_json();
+  static void merged_print_report(std::FILE* out);
 
   Analyzer() = default;
   Analyzer(const Analyzer&) = delete;

@@ -17,6 +17,7 @@
 
 #include <cassert>
 
+#include "simcore/partition.hpp"
 #include "simcore/time.hpp"
 #include "simmachine/machine.hpp"
 
@@ -72,7 +73,10 @@ class ExecContext {
   };
 
  private:
-  static ExecContext* current_;
+  // constinit + initial-exec keep every access a plain %fs-relative load:
+  // fibers read this from ucontext stacks under ASan/TSan, where the lazy
+  // TLS-init guard and __tls_get_addr paths are not reliable.
+  PM2SIM_TLS_FAST static thread_local constinit ExecContext* current_;
 };
 
 /// Accumulating context for hooks and tasklets: charge() adds to a counter

@@ -14,7 +14,7 @@
 
 namespace pm2::mth {
 
-Fiber* Fiber::current_ = nullptr;
+thread_local constinit Fiber* Fiber::current_ = nullptr;
 
 namespace {
 constexpr std::size_t kMinStack = 64 * 1024;

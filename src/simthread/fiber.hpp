@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "simcore/partition.hpp"
 #include "simthread/stack_pool.hpp"
 
 #if !defined(PM2SIM_FIBER_ASM)
@@ -151,7 +152,8 @@ class Fiber {
   bool finished_ = false;
   bool active_ = false;
 
-  static Fiber* current_;
+  // See PM2SIM_TLS_FAST in simcore/partition.hpp: read from fiber stacks.
+  PM2SIM_TLS_FAST static thread_local constinit Fiber* current_;
 };
 
 }  // namespace pm2::mth

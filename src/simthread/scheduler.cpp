@@ -22,7 +22,7 @@ const char* to_string(ThreadState s) {
 }
 
 ExecContext::~ExecContext() = default;
-ExecContext* ExecContext::current_ = nullptr;
+thread_local constinit ExecContext* ExecContext::current_ = nullptr;
 
 // ---------------------------------------------------------------------------
 // Thread / ThreadContext
@@ -53,6 +53,7 @@ Scheduler& ThreadContext::scheduler() const { return thread_.sched_; }
 // ---------------------------------------------------------------------------
 
 Scheduler::Scheduler(mach::Machine& machine) : machine_(machine) {
+  home_partition_ = machine.engine().current_partition();
   cores_.resize(static_cast<std::size_t>(machine.num_cores()));
   auto& reg = obs::MetricsRegistry::global();
   const std::string& node = machine.name();
@@ -72,6 +73,10 @@ Thread* Scheduler::spawn(ThreadFunc body, ThreadAttrs attrs) {
   if (attrs.bind_core >= num_cores()) {
     throw std::out_of_range("Scheduler::spawn: bind_core out of range");
   }
+  // Direct calls from the setup thread (e.g. Core::start_poll_thread)
+  // otherwise inherit the caller's partition; the new thread and its
+  // analyzer registration must live where this node lives.
+  sim::Engine::PartitionScope scope(engine(), home_partition_);
   auto owned = std::make_unique<Thread>(*this, next_thread_id_++,
                                         std::move(body), std::move(attrs));
   Thread* t = owned.get();

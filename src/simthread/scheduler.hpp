@@ -185,6 +185,10 @@ class Scheduler {
   std::vector<std::pair<int, Hook>> switch_hooks_;
   std::vector<std::pair<int, Hook>> timer_hooks_;
   int next_hook_id_ = 1;
+  /// Engine partition this node's scheduler was built in. spawn() pins
+  /// itself here so public entry points invoked from the setup thread (or
+  /// any foreign partition) still schedule into the node's own heap.
+  int home_partition_ = 0;
   std::uint64_t next_thread_id_ = 1;
   int live_threads_ = 0;
   Thread* running_ = nullptr;

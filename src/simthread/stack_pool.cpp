@@ -9,6 +9,7 @@ StackPool& StackPool::instance() {
 
 StackPool::Stack StackPool::acquire(std::size_t size) {
   const std::size_t cls = ((size + kGranule - 1) / kGranule) * kGranule;
+  std::lock_guard<std::mutex> lock(mu_);
   if (auto it = classes_.find(cls); it != classes_.end() && !it->second.empty()) {
     Stack s = std::move(it->second.back());
     it->second.pop_back();
@@ -22,6 +23,7 @@ StackPool::Stack StackPool::acquire(std::size_t size) {
 
 void StackPool::release(Stack s) {
   if (!s.mem) return;
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Stack>& cache = classes_[s.size];
   if (cache.size() >= kMaxPooledPerClass) return;  // frees the stack
   pooled_bytes_ += s.size;
@@ -29,6 +31,7 @@ void StackPool::release(Stack s) {
 }
 
 void StackPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
   classes_.clear();
   pooled_bytes_ = 0;
 }

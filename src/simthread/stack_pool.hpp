@@ -8,13 +8,17 @@
 // hands them back on the next acquire, so steady-state thread churn performs
 // no stack allocations at all.
 //
-// Not thread-safe: the simulator is strictly single-host-threaded.
+// The pool is process-wide and, with the partitioned engine, partitions on
+// different host threads spawn/retire fibers concurrently -- so the pool is
+// mutex-guarded. Pool operations happen on spawn/exit, not per context
+// switch, so the lock is far off the hot path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace pm2::mth {
@@ -44,16 +48,26 @@ class StackPool {
   void trim();
 
   /// Acquires served from the cache vs. fresh allocations (diagnostics).
-  std::uint64_t reuses() const { return reuses_; }
-  std::uint64_t fresh_allocs() const { return fresh_allocs_; }
+  std::uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
+  std::uint64_t fresh_allocs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fresh_allocs_;
+  }
 
   /// Bytes currently cached and idle in the pool.
-  std::size_t pooled_bytes() const { return pooled_bytes_; }
+  std::size_t pooled_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pooled_bytes_;
+  }
 
   static constexpr std::size_t kGranule = 64 * 1024;
   static constexpr std::size_t kMaxPooledPerClass = 64;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::size_t, std::vector<Stack>> classes_;
   std::uint64_t reuses_ = 0;
   std::uint64_t fresh_allocs_ = 0;

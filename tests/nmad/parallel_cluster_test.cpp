@@ -1,0 +1,103 @@
+// Parallel-engine guard at the cluster level: a partitioned multi-node
+// world must produce the exact same virtual-time schedule no matter how
+// many host worker threads execute it. The partition count itself is part
+// of the schedule (documented in ClusterConfig), so runs are only compared
+// at equal partition counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+struct RunResult {
+  std::uint64_t events_executed;
+  std::uint64_t cross_events;
+  sim::Time final_time;
+  std::vector<sim::Time> iteration_times;
+};
+
+// Two independent pingpong pairs (0 <-> 1, 2 <-> 3). With partitions = 2
+// every message crosses partitions (node n lives in partition n % 2); with
+// partitions = 4 each node owns a partition.
+RunResult run_pairs(int partitions, int workers) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.partitions = partitions;
+  cfg.workers = workers;
+  Cluster world(cfg);
+  RunResult r{};
+  const std::size_t kIters = 16;
+
+  // Iteration stamps are appended by two different virtual nodes; collect
+  // them per pair so host-thread interleaving cannot reorder the vector.
+  std::vector<std::vector<sim::Time>> stamps(2);
+
+  for (int pair = 0; pair < 2; ++pair) {
+    const int a = 2 * pair, b = 2 * pair + 1;
+    world.spawn(a, [&world, &stamps, pair, a, b] {
+      auto& c = world.core(a);
+      auto* g = world.gate(a, b);
+      std::vector<std::uint8_t> m(256), buf(256);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.send(g, 1, m.data(), m.size());
+        c.recv(g, 2, buf.data(), buf.size());
+        stamps[static_cast<std::size_t>(pair)].push_back(world.engine().now());
+      }
+    });
+    world.spawn(b, [&world, a, b] {
+      auto& c = world.core(b);
+      auto* g = world.gate(b, a);
+      std::vector<std::uint8_t> buf(256);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.recv(g, 1, buf.data(), buf.size());
+        c.send(g, 2, buf.data(), buf.size());
+      }
+    });
+  }
+  world.run();
+  for (auto& s : stamps) {
+    r.iteration_times.insert(r.iteration_times.end(), s.begin(), s.end());
+  }
+  r.events_executed = world.engine().events_executed();
+  r.cross_events = world.engine().cross_events();
+  r.final_time = world.engine().now();
+  return r;
+}
+
+void expect_same(const RunResult& a, const RunResult& b, const char* what) {
+  EXPECT_EQ(a.events_executed, b.events_executed) << what;
+  EXPECT_EQ(a.cross_events, b.cross_events) << what;
+  EXPECT_EQ(a.final_time, b.final_time) << what;
+  ASSERT_EQ(a.iteration_times.size(), b.iteration_times.size()) << what;
+  for (std::size_t i = 0; i < a.iteration_times.size(); ++i) {
+    EXPECT_EQ(a.iteration_times[i], b.iteration_times[i])
+        << what << ": virtual time diverged at iteration " << i;
+  }
+}
+
+TEST(ParallelCluster, ScheduleIsIdenticalAcrossWorkerCounts) {
+  for (const int partitions : {2, 4}) {
+    const RunResult w1 = run_pairs(partitions, 1);
+    const RunResult w2 = run_pairs(partitions, 2);
+    const RunResult w4 = run_pairs(partitions, 4);
+    SCOPED_TRACE(testing::Message() << "partitions=" << partitions);
+    expect_same(w1, w2, "workers 1 vs 2");
+    expect_same(w1, w4, "workers 1 vs 4");
+    EXPECT_GT(w1.events_executed, 0u);
+    EXPECT_GT(w1.cross_events, 0u);  // wire traffic really crossed partitions
+    EXPECT_GT(w1.final_time, 0);
+  }
+}
+
+TEST(ParallelCluster, PartitionedRunIsRepeatableInProcess) {
+  const RunResult first = run_pairs(2, 2);
+  const RunResult second = run_pairs(2, 2);
+  expect_same(first, second, "warm pools, same partitioning");
+}
+
+}  // namespace
+}  // namespace pm2::nm
