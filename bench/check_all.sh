@@ -19,7 +19,7 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" -j"$(nproc)" --output-on-failure
 
-echo "== [2/4] simsan selfcheck + parallel smoke =="
+echo "== [2/4] simsan selfcheck + parallel smoke + trace gates =="
 ctest --test-dir "$build_dir" -R simsan_selfcheck --output-on-failure
 "$build_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on > /dev/null
 # Partitioned engine smoke: two partitions on two host workers must run the
@@ -27,6 +27,21 @@ ctest --test-dir "$build_dir" -R simsan_selfcheck --output-on-failure
 # `parallel_byte_identity`, part of stage 1).
 "$build_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on \
   --partitions=2 --workers=2 > /dev/null
+# Binary-telemetry hot-path gate (traced pingpong must stay within 3% of
+# untraced) and converter smoke: a figure bench writes the binary trace log,
+# trace2json converts it offline, and the result must be byte-identical to
+# the JSON the run rendered online.
+ctest --test-dir "$build_dir" -R '^trace_overhead$' --output-on-failure
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT INT TERM
+"$build_dir"/bench/fig3_locking --iters=5 --warmup=1 \
+  --metrics-out="$trace_tmp/metrics.json" > /dev/null
+"$build_dir"/tools/trace2json "$trace_tmp/metrics.json.trace.bin" \
+  "$trace_tmp/converted.trace.json"
+cmp "$trace_tmp/metrics.json.trace.json" "$trace_tmp/converted.trace.json" || {
+  echo "check_all: trace2json output differs from online .trace.json" >&2
+  exit 1
+}
 
 echo "== [3/4] lint =="
 "$repo_root"/bench/check_lint.sh

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Byte-identity gate for the partitioned parallel engine: every figure
 # bench, run with --partitions=2, must produce byte-for-byte identical
-# output (tables, CSV, simsan report) at --workers=1 and --workers=2.
-# Worker count may only change wall-clock time, never the schedule.
+# output (tables, CSV, simsan report, metrics report, Chrome-trace JSON)
+# at --workers=1 and --workers=2. Worker count may only change wall-clock
+# time, never the schedule. The .trace.bin byte layout is NOT compared:
+# ring packing and string-intern order legitimately depend on host thread
+# interleaving; only the canonically merged JSON must be stable.
 #
 # Usage: bench/check_parallel.sh [build-dir]   (default: ./build)
 set -eu
@@ -20,17 +23,17 @@ for bench in fig3_locking fig5_concurrent fig6_pioman fig7_waiting \
   # Same CSV basename on both sides: the benches echo the path to stdout,
   # and stdout is part of the byte-for-byte comparison.
   (cd "$tmp/w1" && "$build_dir"/bench/"$bench" --iters=5 --warmup=1 \
-      --simsan=on --partitions=2 --workers=1 --csv=out.csv > out.txt)
+      --simsan=on --partitions=2 --workers=1 --csv=out.csv \
+      --metrics-out=metrics.json > out.txt)
   (cd "$tmp/w2" && "$build_dir"/bench/"$bench" --iters=5 --warmup=1 \
-      --simsan=on --partitions=2 --workers=2 --csv=out.csv > out.txt)
-  cmp "$tmp/w1/out.csv" "$tmp/w2/out.csv" || {
-    echo "check_parallel: $bench CSV differs between workers=1 and workers=2" >&2
-    exit 1
-  }
-  cmp "$tmp/w1/out.txt" "$tmp/w2/out.txt" || {
-    echo "check_parallel: $bench stdout differs between workers=1 and workers=2" >&2
-    exit 1
-  }
+      --simsan=on --partitions=2 --workers=2 --csv=out.csv \
+      --metrics-out=metrics.json > out.txt)
+  for f in out.csv out.txt metrics.json metrics.json.trace.json; do
+    cmp "$tmp/w1/$f" "$tmp/w2/$f" || {
+      echo "check_parallel: $bench $f differs between workers=1 and workers=2" >&2
+      exit 1
+    }
+  done
 done
 
 echo "check_parallel: workers=1 and workers=2 outputs byte-identical"

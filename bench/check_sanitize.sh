@@ -48,5 +48,10 @@ TSAN_OPTIONS="halt_on_error=1" \
 TSAN_OPTIONS="halt_on_error=1" \
   "$tsan_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on \
   --partitions=2 --workers=2 > /dev/null
+# Lock-free trace-ring suite under TSan: real producer/consumer threads on
+# the SPSC ring, the drain thread, the intern table, and the multi-worker
+# traced cluster all cross host-thread boundaries here.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$tsan_dir"/tests/test_obs --gtest_filter='TraceRing.*:TraceLog.*'
 
 echo "sanitizer suite clean (asan+ubsan, tsan incl. parallel engine)"

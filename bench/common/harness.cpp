@@ -222,6 +222,8 @@ BenchArgs parse_args(int argc, char** argv) {
       args.partitions = std::atoi(a + 13);
     } else if (std::strncmp(a, "--workers=", 10) == 0) {
       args.workers = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      args.legacy_trace = std::strcmp(a + 8, "legacy") == 0;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", a);
     }
@@ -232,6 +234,7 @@ BenchArgs parse_args(int argc, char** argv) {
 void apply_parallel(const BenchArgs& args, nm::ClusterConfig& cfg) {
   cfg.partitions = args.partitions;
   cfg.workers = args.workers;
+  cfg.legacy_trace = args.legacy_trace;
 }
 
 std::size_t run_simsan_report(const BenchArgs& args, const std::string& label,
@@ -354,10 +357,21 @@ void write_metrics_report(const BenchArgs& args, const nm::ClusterConfig& cfg) {
     }, "pong", 0);
 
     world.run();
-    obs::write_report(args.metrics_out, reg, &flow);
+    obs::write_report(args.metrics_out, reg, &flow, world.trace_log());
     world.write_timeline(args.metrics_out + ".trace.json");
-    std::printf("metrics report written: %s (timeline: %s.trace.json)\n",
-                args.metrics_out.c_str(), args.metrics_out.c_str());
+    if (world.trace_log() != nullptr) {
+      obs::TraceLog& log = *world.trace_log();
+      world.write_trace_binary(args.metrics_out + ".trace.bin");
+      std::printf(
+          "metrics report written: %s (timeline: %s.trace.json, binary: "
+          "%s.trace.bin; %zu trace records, %llu dropped)\n",
+          args.metrics_out.c_str(), args.metrics_out.c_str(),
+          args.metrics_out.c_str(), log.record_count(),
+          static_cast<unsigned long long>(log.dropped()));
+    } else {
+      std::printf("metrics report written: %s (timeline: %s.trace.json)\n",
+                  args.metrics_out.c_str(), args.metrics_out.c_str());
+    }
   }
   reg.set_enabled(false);
 }

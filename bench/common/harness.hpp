@@ -58,7 +58,7 @@ void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
 
 /// Tiny argv parser shared by the figure benches: recognizes
 /// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH, --simsan=on|off,
-/// --partitions=N, --workers=N.
+/// --partitions=N, --workers=N, --trace=ring|legacy.
 struct BenchArgs {
   int iters = 200;
   int warmup = 20;
@@ -78,6 +78,10 @@ struct BenchArgs {
   /// sweeps themselves always run unanalyzed, so CSV output is identical
   /// either way.
   bool simsan = false;
+  /// --trace=legacy: record the --metrics-out timeline through the mutexed
+  /// direct-JSON path instead of the lock-free binary trace rings (debug
+  /// fallback; no .trace.bin is written then). --trace=ring is the default.
+  bool legacy_trace = false;
 };
 BenchArgs parse_args(int argc, char** argv);
 

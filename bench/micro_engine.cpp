@@ -225,6 +225,53 @@ void BM_PingpongEndToEndSimsan(benchmark::State& state) {
 }
 BENCHMARK(BM_PingpongEndToEndSimsan)->Unit(benchmark::kMillisecond);
 
+void pingpong_traced_body(benchmark::State& state, bool legacy) {
+  // Same workload with the full observability surface on -- Chrome-trace
+  // timeline (scheduler spans, NIC tx/rx) plus flow-lifecycle stamps --
+  // through either the lock-free binary trace rings (default) or the
+  // mutexed direct-JSON fallback. The spread between the two variants is
+  // the hot-path win of the ring sink; ctest `trace_overhead` asserts the
+  // ring variant stays within 3% of BM_PingpongEndToEnd.
+  const std::size_t kIters = 64;
+  for (auto _ : state) {
+    nm::ClusterConfig cfg;
+    cfg.legacy_trace = legacy;
+    nm::Cluster world(cfg);
+    world.enable_timeline();
+    world.enable_flow_trace();
+    world.spawn(0, [&world] {
+      auto& c = world.core(0);
+      auto* g = world.gate(0, 1);
+      std::vector<std::uint8_t> m(64), b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.send(g, 1, m.data(), m.size());
+        c.recv(g, 2, b.data(), b.size());
+      }
+    });
+    world.spawn(1, [&world] {
+      auto& c = world.core(1);
+      auto* g = world.gate(1, 0);
+      std::vector<std::uint8_t> b(64);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        c.recv(g, 1, b.data(), b.size());
+        c.send(g, 2, b.data(), b.size());
+      }
+    });
+    world.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kIters);
+}
+
+void BM_PingpongEndToEndTraced(benchmark::State& state) {
+  pingpong_traced_body(state, /*legacy=*/false);
+}
+BENCHMARK(BM_PingpongEndToEndTraced)->Unit(benchmark::kMillisecond);
+
+void BM_PingpongEndToEndTracedLegacy(benchmark::State& state) {
+  pingpong_traced_body(state, /*legacy=*/true);
+}
+BENCHMARK(BM_PingpongEndToEndTracedLegacy)->Unit(benchmark::kMillisecond);
+
 void BM_ParallelEngine(benchmark::State& state) {
   // Partitioned-engine throughput: an 8-node world (4 independent pingpong
   // pairs), one partition per node, executed by range(0) host workers.

@@ -40,6 +40,18 @@ awk '
   }
 ' "$repo_root/BENCH_engine.json"
 
+# Full-tracing cost: the pingpong run with timeline + flow tracing through
+# the lock-free trace rings vs the legacy direct-JSON recorder. The hard
+# <3% ring gate is the `trace_overhead` ctest.
+awk '
+  /"name": "BM_PingpongEndToEndTraced(Legacy)?_median"/ { want = 1; name = $2 }
+  want && /"real_time":/ {
+    gsub(/[",]/, "", name); gsub(/,/, "", $2)
+    printf "  %-34s %.3f ms\n", name, $2
+    want = 0
+  }
+' "$repo_root/BENCH_engine.json"
+
 # Data-path throughput: the large-message bandwidth runs (64 KiB eager-ish
 # and 1 MiB rendezvous) exercise the zero-copy scatter/gather path.
 awk '
@@ -68,4 +80,10 @@ overhead_bin="$build_dir/bench/metrics_overhead"
 if [ -x "$overhead_bin" ]; then
   echo "checking metrics hot-path overhead (<3%):"
   "$overhead_bin"
+fi
+
+trace_overhead_bin="$build_dir/bench/trace_overhead"
+if [ -x "$trace_overhead_bin" ]; then
+  echo "checking ring-trace hot-path overhead (<3%):"
+  "$trace_overhead_bin"
 fi

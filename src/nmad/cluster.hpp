@@ -13,6 +13,7 @@
 
 #include "nmad/core.hpp"
 #include "obs/flow.hpp"
+#include "obs/trace_log.hpp"
 #include "pioman/server.hpp"
 #include "simcore/chrome_trace.hpp"
 #include "pioman/tasklet.hpp"
@@ -46,6 +47,14 @@ struct ClusterConfig {
   /// partition count). Any value produces the identical schedule; > 1 uses
   /// real threads.
   int workers = 1;
+  /// Debug fallback: record timeline/flow events through the original
+  /// mutexed direct-JSON path instead of the lock-free binary trace rings.
+  /// Byte-stable only for workers == 1, and no .trace.bin can be written.
+  bool legacy_trace = false;
+  /// Records per partition trace ring (rounded up to a power of two).
+  /// Rings never lose records under the default spill policy; capacity
+  /// only tunes how often the owning worker self-drains.
+  std::size_t trace_ring_capacity = 4096;
 };
 
 class Cluster {
@@ -82,8 +91,9 @@ class Cluster {
   mth::Thread* spawn(int node, std::function<void()> fn,
                      const std::string& name = "app", int bind_core = -1);
 
-  /// Run the world to completion (all threads finished, events drained).
-  void run() { engine_.run(); }
+  /// Run the world to completion (all threads finished, events drained),
+  /// then spill any buffered trace records.
+  void run();
 
   /// Start recording a Chrome-trace timeline (thread spans per core, NIC
   /// tx/rx). Returns the recorder, owned by the cluster.
@@ -100,6 +110,14 @@ class Cluster {
   obs::FlowTracer& enable_flow_trace();
 
   obs::FlowTracer* flow_trace() { return flow_.get(); }
+
+  /// The binary telemetry sink behind the timeline / flow tracer (null
+  /// until one of them is enabled, or always in legacy_trace mode).
+  obs::TraceLog* trace_log() { return trace_log_.get(); }
+
+  /// Write the captured records as a compact binary log (convert offline
+  /// with tools/trace2json). Requires the ring path (not legacy_trace).
+  void write_trace_binary(const std::string& path);
 
   /// Start a fresh simsan analysis run over this world: resets the analyzer
   /// shards (one per engine partition), routes report timestamps to this
@@ -121,10 +139,14 @@ class Cluster {
     std::vector<std::unique_ptr<net::Nic>> nics;
   };
 
+  obs::TraceLog& ensure_trace_log();
+
   ClusterConfig cfg_;
   sim::Engine engine_;
   std::vector<std::unique_ptr<net::Fabric>> fabrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Destroyed after the recorders that feed it records.
+  std::unique_ptr<obs::TraceLog> trace_log_;
   std::unique_ptr<sim::ChromeTrace> timeline_;
   std::unique_ptr<obs::FlowTracer> flow_;
   bool simsan_owner_ = false;  ///< we enabled the analyzer; detach in dtor

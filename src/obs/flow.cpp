@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/trace_log.hpp"
 #include "simcore/chrome_trace.hpp"
 
 namespace pm2::obs {
@@ -30,8 +31,8 @@ const char* flow_segment_name(int i) {
   return "?";
 }
 
-void FlowTracer::stamp(std::uint64_t id, FlowStage stage, sim::Time t,
-                       int node, int core) {
+void FlowTracer::stamp_legacy(std::uint64_t id, FlowStage stage, sim::Time t,
+                              int node, int core) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, fresh] = flows_.try_emplace(id);
   if (fresh) {
@@ -63,7 +64,39 @@ void FlowTracer::stamp(std::uint64_t id, FlowStage stage, sim::Time t,
   }
 }
 
+void FlowTracer::ensure_ingested() const {
+  if (log_ == nullptr) return;
+  const std::size_t n = log_->record_count();
+  if (n == ingested_) return;
+  flows_.clear();
+  order_.clear();
+  for (const sim::TraceRecord& r : log_->canonical_records()) {
+    if (r.phase != sim::kFlowStampPhase) continue;
+    const int i = static_cast<int>(r.dur);
+    if (i < 0 || i >= kFlowStageCount) continue;
+    auto [it, fresh] = flows_.try_emplace(r.id);
+    if (fresh) {
+      it->second.id = r.id;
+      order_.push_back(r.id);
+    }
+    it->second.seen[i] = true;
+    it->second.ts[i] = r.ts;  // last stamp in canonical order wins
+  }
+  ingested_ = n;
+}
+
+std::size_t FlowTracer::flow_count() const {
+  ensure_ingested();
+  return order_.size();
+}
+
+const std::vector<std::uint64_t>& FlowTracer::ids() const {
+  ensure_ingested();
+  return order_;
+}
+
 std::size_t FlowTracer::completed_count() const {
+  ensure_ingested();
   std::size_t n = 0;
   for (std::uint64_t id : order_) {
     if (flows_.at(id).complete()) ++n;
@@ -72,11 +105,13 @@ std::size_t FlowTracer::completed_count() const {
 }
 
 const FlowTracer::Flow* FlowTracer::find(std::uint64_t id) const {
+  ensure_ingested();
   auto it = flows_.find(id);
   return it == flows_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::uint64_t> FlowTracer::canonical_order() const {
+  ensure_ingested();
   std::vector<std::uint64_t> ids = order_;
   std::sort(ids.begin(), ids.end(),
             [this](std::uint64_t a, std::uint64_t b) {

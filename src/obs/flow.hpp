@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace_log.hpp"
 #include "simcore/stats.hpp"
 #include "simcore/time.hpp"
 
@@ -60,6 +61,14 @@ class FlowTracer {
   /// events bind to the slices already recorded on (pid=node, tid=core).
   void set_trace(sim::ChromeTrace* trace) { trace_ = trace; }
 
+  /// Route stamps into the binary telemetry ring instead (nullptr
+  /// detaches): stamp() becomes one lock-free record push -- no mutex, no
+  /// map insert -- and the aggregation below is rebuilt lazily from the
+  /// ring's canonical record order on first read (so call the read/export
+  /// methods after the run, as before). ChromeTrace flow arrows are then
+  /// synthesized by the ring's JSON conversion, not emitted here.
+  void set_ring(TraceLog* log) { log_ = log; }
+
   /// Deterministic flow id both sides can compute without a wire-format
   /// change: the (src, dst, per-gate message seq) triple is unique per
   /// message and known to sender (at isend) and receiver (at match).
@@ -81,7 +90,23 @@ class FlowTracer {
   /// stays deterministic). The read/export methods are not locked -- call
   /// them after the run, from one thread.
   void stamp(std::uint64_t id, FlowStage stage, sim::Time t, int node,
-             int core);
+             int core) {
+    if (log_ != nullptr) [[likely]] {
+      // Hot path, inline: one lock-free ring push; aggregation and
+      // flow-arrow emission are deferred to the canonical replay on read.
+      sim::TraceRecord r;
+      r.ts = t;
+      r.emit = t;  // stamp sites pass the partition clock as @p t
+      r.dur = static_cast<std::int64_t>(stage);
+      r.id = id;
+      r.pid = node;
+      r.tid = core;
+      r.phase = sim::kFlowStampPhase;
+      log_->push_prestamped(r);
+      return;
+    }
+    stamp_legacy(id, stage, t, node, core);
+  }
 
   struct Flow {
     std::uint64_t id = 0;
@@ -94,13 +119,13 @@ class FlowTracer {
     }
   };
 
-  std::size_t flow_count() const { return order_.size(); }
+  std::size_t flow_count() const;
   std::size_t completed_count() const;
-  /// First-stamp order. Deterministic in single-partition worlds; in
-  /// partitioned runs it depends on host-thread interleaving, which is why
-  /// the statistics below iterate in canonical (post-time, id) order
-  /// instead.
-  const std::vector<std::uint64_t>& ids() const { return order_; }
+  /// First-stamp order. Deterministic in single-partition worlds and in
+  /// ring mode (canonical record order); in partitioned legacy mode it
+  /// depends on host-thread interleaving, which is why the statistics
+  /// below iterate in canonical (post-time, id) order instead.
+  const std::vector<std::uint64_t>& ids() const;
   /// nullptr if @p id was never stamped.
   const Flow* find(std::uint64_t id) const;
 
@@ -128,10 +153,20 @@ class FlowTracer {
   /// same way -- no matter how many host threads ran the simulation.
   std::vector<std::uint64_t> canonical_order() const;
 
-  std::mutex mu_;  ///< guards flows_/order_/trace_ during stamp()
+  /// Legacy mode: locked map insert plus inline ChromeTrace arrow emission.
+  void stamp_legacy(std::uint64_t id, FlowStage stage, sim::Time t, int node,
+                    int core);
+
+  /// Ring mode: rebuild flows_/order_ from the ring's canonical record
+  /// order if records arrived since the last ingest. No-op in legacy mode.
+  void ensure_ingested() const;
+
+  std::mutex mu_;  ///< guards flows_/order_/trace_ during legacy stamp()
   sim::ChromeTrace* trace_ = nullptr;
-  std::unordered_map<std::uint64_t, Flow> flows_;
-  std::vector<std::uint64_t> order_;
+  TraceLog* log_ = nullptr;
+  mutable std::unordered_map<std::uint64_t, Flow> flows_;
+  mutable std::vector<std::uint64_t> order_;
+  mutable std::size_t ingested_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace pm2::obs

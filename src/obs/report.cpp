@@ -1,10 +1,12 @@
 #include "obs/report.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 #include "obs/flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
 
 namespace pm2::obs {
 
@@ -17,22 +19,29 @@ std::string chomp(std::string s) {
 }  // namespace
 
 std::string report_json(const MetricsRegistry& registry,
-                        const FlowTracer* flow) {
+                        const FlowTracer* flow, TraceLog* trace) {
   std::string out = "{\"schema\":\"pm2sim-report-v1\",\"metrics\":";
   out += chomp(registry.to_json());
   if (flow != nullptr) {
     out += ",\"flow\":";
     out += chomp(flow->to_json());
   }
+  if (trace != nullptr) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"trace\":{\"records\":%zu,\"dropped\":%llu}",
+                  trace->record_count(),
+                  static_cast<unsigned long long>(trace->dropped()));
+    out += buf;
+  }
   out += "}\n";
   return out;
 }
 
 void write_report(const std::string& path, const MetricsRegistry& registry,
-                  const FlowTracer* flow) {
+                  const FlowTracer* flow, TraceLog* trace) {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("obs: cannot open " + path);
-  f << report_json(registry, flow);
+  f << report_json(registry, flow, trace);
   if (!f) throw std::runtime_error("obs: write failed: " + path);
 }
 

@@ -1,8 +1,8 @@
 // pm2sim -- combined per-run observability report.
 //
 // One JSON document bundling the metrics registry dump with (optionally)
-// the flow tracer's per-stage latency breakdown; this is what the figure
-// benches write for --metrics-out=FILE.
+// the flow tracer's per-stage latency breakdown and the binary telemetry
+// summary; this is what the figure benches write for --metrics-out=FILE.
 #pragma once
 
 #include <string>
@@ -11,14 +11,16 @@ namespace pm2::obs {
 
 class MetricsRegistry;
 class FlowTracer;
+class TraceLog;
 
-/// {"schema":"pm2sim-report-v1","metrics":{...},"flow":{...}}; the "flow"
-/// member is omitted when @p flow is null.
+/// {"schema":"pm2sim-report-v1","metrics":{...},"flow":{...},
+///  "trace":{"records":N,"dropped":N}}; the "flow" / "trace" members are
+/// omitted when the corresponding pointer is null.
 std::string report_json(const MetricsRegistry& registry,
-                        const FlowTracer* flow);
+                        const FlowTracer* flow, TraceLog* trace = nullptr);
 
 /// Write report_json() to @p path; throws on I/O failure.
 void write_report(const std::string& path, const MetricsRegistry& registry,
-                  const FlowTracer* flow);
+                  const FlowTracer* flow, TraceLog* trace = nullptr);
 
 }  // namespace pm2::obs

@@ -1,14 +1,15 @@
 #include "simcore/chrome_trace.hpp"
 
+#include <bit>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
-#include <sstream>
 #include <stdexcept>
 
 namespace pm2::sim {
 
 namespace {
-void append_escaped(std::string& out, const std::string& s) {
+void append_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -34,98 +35,163 @@ void append_escaped(std::string& out, const std::string& s) {
 double to_trace_us(Time t) { return static_cast<double>(t) / 1e3; }
 }  // namespace
 
-void ChromeTrace::complete_event(const std::string& name,
-                                 const std::string& category, int pid, int tid,
+void append_trace_event_json(std::string& out, const TraceEventView& e) {
+  char buf[160];
+  out += "{\"ph\":\"";
+  out += e.phase;
+  out += "\",\"name\":\"";
+  append_escaped(out, e.phase == 'M' ? e.meta_kind : e.name);
+  out += "\"";
+  if (e.phase == 'M') {
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\"}";
+  } else {
+    out += ",\"cat\":\"";
+    append_escaped(out, e.category.empty() ? std::string_view{"sim"}
+                                           : e.category);
+    out += "\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", to_trace_us(e.ts));
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", to_trace_us(e.dur));
+      out += buf;
+    }
+    if (e.phase == 'C') {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%g}", e.value);
+      out += buf;
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      std::snprintf(buf, sizeof(buf), ",\"id\":%llu",
+                    static_cast<unsigned long long>(e.flow_id));
+      out += buf;
+      // Bind the arrow end to the enclosing slice, not the next one.
+      if (e.phase == 'f') out += ",\"bp\":\"e\"";
+    }
+  }
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d}", e.pid, e.tid);
+  out += buf;
+}
+
+std::uint16_t ChromeTrace::intern(std::string_view s) {
+  if (sink_ != nullptr) return sink_->intern(s);
+  std::lock_guard<std::mutex> lock(mu_);
+  return intern_locked(s);
+}
+
+std::uint16_t ChromeTrace::intern_locked(std::string_view s) {
+  auto it = ids_.find(std::string{s});
+  if (it != ids_.end()) return it->second;
+  if (strings_.size() > 0xFFFF) return 0;  // table full: alias to ""
+  auto id = static_cast<std::uint16_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+void ChromeTrace::record(char phase, std::uint16_t name, std::uint16_t cat,
+                         int pid, int tid, Time ts, Time dur, double value,
+                         std::uint64_t flow_id) {
+  if (sink_ != nullptr) {
+    TraceRecord r;
+    r.ts = ts;
+    r.dur = dur;
+    r.id = phase == 'C' ? std::bit_cast<std::uint64_t>(value) : flow_id;
+    r.pid = pid;
+    r.tid = tid;
+    r.name = name;
+    r.cat = cat;
+    r.phase = static_cast<std::uint8_t>(phase);
+    sink_->push(r);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{phase, name, cat, pid, tid, ts, dur, value, flow_id});
+}
+
+void ChromeTrace::complete_event(std::string_view name,
+                                 std::string_view category, int pid, int tid,
                                  Time start, Time duration) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'X', name, category, pid, tid, start, duration, 0, {}});
+  complete_event(intern(name), intern(category), pid, tid, start, duration);
 }
 
-void ChromeTrace::instant_event(const std::string& name,
-                                const std::string& category, int pid, int tid,
+void ChromeTrace::complete_event(std::uint16_t name_id,
+                                 std::uint16_t category_id, int pid, int tid,
+                                 Time start, Time duration) {
+  record('X', name_id, category_id, pid, tid, start, duration, 0, 0);
+}
+
+void ChromeTrace::instant_event(std::string_view name,
+                                std::string_view category, int pid, int tid,
                                 Time t) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'i', name, category, pid, tid, t, 0, 0, {}});
+  instant_event(intern(name), intern(category), pid, tid, t);
 }
 
-void ChromeTrace::counter_event(const std::string& name, int pid, Time t,
+void ChromeTrace::instant_event(std::uint16_t name_id,
+                                std::uint16_t category_id, int pid, int tid,
+                                Time t) {
+  record('i', name_id, category_id, pid, tid, t, 0, 0, 0);
+}
+
+void ChromeTrace::counter_event(std::string_view name, int pid, Time t,
                                 double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'C', name, "counter", pid, 0, t, 0, value, {}});
+  record('C', intern(name), intern("counter"), pid, 0, t, 0, value, 0);
 }
 
-void ChromeTrace::flow_begin(const std::string& name,
-                             const std::string& category, int pid, int tid,
-                             Time t, std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'s', name, category, pid, tid, t, 0, 0, {}, id});
+void ChromeTrace::flow_begin(std::string_view name, std::string_view category,
+                             int pid, int tid, Time t, std::uint64_t id) {
+  record('s', intern(name), intern(category), pid, tid, t, 0, 0, id);
 }
 
-void ChromeTrace::flow_step(const std::string& name,
-                            const std::string& category, int pid, int tid,
-                            Time t, std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'t', name, category, pid, tid, t, 0, 0, {}, id});
+void ChromeTrace::flow_step(std::string_view name, std::string_view category,
+                            int pid, int tid, Time t, std::uint64_t id) {
+  record('t', intern(name), intern(category), pid, tid, t, 0, 0, id);
 }
 
-void ChromeTrace::flow_end(const std::string& name,
-                           const std::string& category, int pid, int tid,
-                           Time t, std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'f', name, category, pid, tid, t, 0, 0, {}, id});
+void ChromeTrace::flow_end(std::string_view name, std::string_view category,
+                           int pid, int tid, Time t, std::uint64_t id) {
+  record('f', intern(name), intern(category), pid, tid, t, 0, 0, id);
 }
 
-void ChromeTrace::set_process_name(int pid, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'M', name, {}, pid, 0, 0, 0, 0, "process_name"});
+void ChromeTrace::set_process_name(int pid, std::string_view name) {
+  record('M', intern(name), intern("process_name"), pid, 0, 0, 0, 0, 0);
 }
 
-void ChromeTrace::set_thread_name(int pid, int tid, const std::string& name) {
+void ChromeTrace::set_thread_name(int pid, int tid, std::string_view name) {
+  record('M', intern(name), intern("thread_name"), pid, tid, 0, 0, 0, 0);
+}
+
+std::size_t ChromeTrace::event_count() const {
+  if (sink_ != nullptr) return sink_->record_count();
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'M', name, {}, pid, tid, 0, 0, 0, "thread_name"});
+  return events_.size();
 }
 
 std::string ChromeTrace::to_json() const {
+  if (sink_ != nullptr) return sink_->to_json();
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
-  char buf[160];
   for (const Event& e : events_) {
     if (!first) out += ",\n";
     first = false;
-    out += "{\"ph\":\"";
-    out += e.phase;
-    out += "\",\"name\":\"";
-    append_escaped(out, e.phase == 'M' ? e.meta_kind : e.name);
-    out += "\"";
+    TraceEventView v;
+    v.phase = e.phase;
     if (e.phase == 'M') {
-      out += ",\"args\":{\"name\":\"";
-      append_escaped(out, e.name);
-      out += "\"}";
+      v.name = strings_[e.name];
+      v.meta_kind = strings_[e.cat];
     } else {
-      out += ",\"cat\":\"";
-      append_escaped(out, e.category.empty() ? "sim" : e.category);
-      out += "\"";
-      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", to_trace_us(e.ts));
-      out += buf;
-      if (e.phase == 'X') {
-        std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", to_trace_us(e.dur));
-        out += buf;
-      }
-      if (e.phase == 'C') {
-        std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%g}", e.value);
-        out += buf;
-      }
-      if (e.phase == 'i') out += ",\"s\":\"t\"";
-      if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
-        std::snprintf(buf, sizeof(buf), ",\"id\":%llu",
-                      static_cast<unsigned long long>(e.flow_id));
-        out += buf;
-        // Bind the arrow end to the enclosing slice, not the next one.
-        if (e.phase == 'f') out += ",\"bp\":\"e\"";
-      }
+      v.name = strings_[e.name];
+      v.category = strings_[e.cat];
     }
-    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d}", e.pid, e.tid);
-    out += buf;
+    v.pid = e.pid;
+    v.tid = e.tid;
+    v.ts = e.ts;
+    v.dur = e.dur;
+    v.value = e.value;
+    v.flow_id = e.flow_id;
+    append_trace_event_json(out, v);
   }
   out += "\n]}\n";
   return out;

@@ -145,9 +145,15 @@ SendHandle Nic::post_send(int dst_port, Channel channel, Payload payload,
   });
 
   if (timeline_ != nullptr) {
-    timeline_->complete_event(
-        "tx " + std::to_string(size) + "B -> port " + std::to_string(dst_port),
-        "nic", timeline_pid_, timeline_tid_, wire_start, wire_end - wire_start);
+    if (size != tl_tx_size_ || dst_port != tl_tx_port_) {
+      tl_tx_name_ = timeline_->intern("tx " + std::to_string(size) +
+                                      "B -> port " + std::to_string(dst_port));
+      tl_tx_size_ = size;
+      tl_tx_port_ = dst_port;
+    }
+    timeline_->complete_event(tl_tx_name_, tl_cat_nic_, timeline_pid_,
+                              timeline_tid_, wire_start,
+                              wire_end - wire_start);
   }
 
   const sim::Time arrival =
@@ -161,16 +167,32 @@ SendHandle Nic::post_send(int dst_port, Channel channel, Payload payload,
   return SendHandle(std::move(state));
 }
 
+void Nic::set_timeline(sim::ChromeTrace* timeline, int pid, int tid) {
+  timeline_ = timeline;
+  timeline_pid_ = pid;
+  timeline_tid_ = tid;
+  tl_cat_nic_ = timeline != nullptr ? timeline->intern("nic") : 0;
+  tl_tx_size_ = static_cast<std::size_t>(-1);
+  tl_tx_port_ = -1;
+  tl_rx_size_ = static_cast<std::size_t>(-1);
+  tl_rx_port_ = -1;
+}
+
 void Nic::enqueue_rx(Packet pkt) {
   ++packets_received_;
   bytes_received_ += pkt.size();
   m_rx_packets_.inc();
   m_rx_bytes_.inc(pkt.size());
   if (timeline_ != nullptr) {
-    timeline_->instant_event(
-        "rx " + std::to_string(pkt.size()) + "B <- port " +
-            std::to_string(pkt.src_port),
-        "nic", timeline_pid_, timeline_tid_, fabric_.engine().now());
+    if (pkt.size() != tl_rx_size_ || pkt.src_port != tl_rx_port_) {
+      tl_rx_name_ =
+          timeline_->intern("rx " + std::to_string(pkt.size()) +
+                            "B <- port " + std::to_string(pkt.src_port));
+      tl_rx_size_ = pkt.size();
+      tl_rx_port_ = pkt.src_port;
+    }
+    timeline_->instant_event(tl_rx_name_, tl_cat_nic_, timeline_pid_,
+                             timeline_tid_, fabric_.engine().now());
   }
   rx_queue_.push_back(std::move(pkt));
   m_rx_queue_depth_.set(static_cast<std::int64_t>(rx_queue_.size()));

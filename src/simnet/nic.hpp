@@ -142,11 +142,7 @@ class Nic {
 
   /// Attach a Chrome-trace timeline: tx/rx instants recorded under
   /// (pid=@p pid, tid=@p tid).
-  void set_timeline(sim::ChromeTrace* timeline, int pid, int tid) {
-    timeline_ = timeline;
-    timeline_pid_ = pid;
-    timeline_tid_ = tid;
-  }
+  void set_timeline(sim::ChromeTrace* timeline, int pid, int tid);
 
   // --- statistics -------------------------------------------------------------
 
@@ -176,6 +172,15 @@ class Nic {
   sim::ChromeTrace* timeline_ = nullptr;
   int timeline_pid_ = 0;
   int timeline_tid_ = 0;
+  // Interned timeline names, cached per (size, port) so steady-state
+  // pingpong traffic formats no strings on the hot path.
+  std::uint16_t tl_cat_nic_ = 0;
+  std::uint16_t tl_tx_name_ = 0;
+  std::size_t tl_tx_size_ = static_cast<std::size_t>(-1);
+  int tl_tx_port_ = -1;
+  std::uint16_t tl_rx_name_ = 0;
+  std::size_t tl_rx_size_ = static_cast<std::size_t>(-1);
+  int tl_rx_port_ = -1;
 
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;

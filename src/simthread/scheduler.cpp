@@ -166,6 +166,9 @@ void Scheduler::set_timeline(sim::ChromeTrace* timeline, int pid) {
   timeline_ = timeline;
   timeline_pid_ = pid;
   if (timeline_ != nullptr) {
+    tl_cat_thread_ = timeline_->intern("thread");
+    tl_cat_hook_ = timeline_->intern("hook");
+    tl_idle_name_ = timeline_->intern("idle hooks");
     for (const Core& c : cores_) {
       timeline_->set_thread_name(pid, c.id, "core " + std::to_string(c.id));
     }
@@ -178,7 +181,11 @@ void Scheduler::timeline_begin(Core& c) {
 
 void Scheduler::timeline_end(Core& c, const Thread* t) {
   if (timeline_ == nullptr || c.span_start < 0) return;
-  timeline_->complete_event(t->name(), "thread", timeline_pid_, c.id,
+  if (t->tl_name_src_ != timeline_) {
+    t->tl_name_ = timeline_->intern(t->name());
+    t->tl_name_src_ = timeline_;
+  }
+  timeline_->complete_event(t->tl_name_, tl_cat_thread_, timeline_pid_, c.id,
                             c.span_start, engine().now() - c.span_start);
   c.span_start = -1;
 }
@@ -562,7 +569,7 @@ void Scheduler::idle_tick(int core) {
   c.hook_time += consumed;
   c.hooks_since_dispatch = true;
   if (timeline_ != nullptr && consumed > 0) {
-    timeline_->complete_event("idle hooks", "hook", timeline_pid_, core,
+    timeline_->complete_event(tl_idle_name_, tl_cat_hook_, timeline_pid_, core,
                               engine().now(), consumed);
   }
   if (live_threads_ > 0 && hooks_want(idle_hooks_, core)) {

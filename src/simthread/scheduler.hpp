@@ -195,6 +195,11 @@ class Scheduler {
   std::uint64_t total_switches_ = 0;
   sim::ChromeTrace* timeline_ = nullptr;
   int timeline_pid_ = 0;
+  // Interned-id caches for the per-slice span emission (hot path): filled
+  // in set_timeline so steady-state spans never touch the string table.
+  std::uint16_t tl_cat_thread_ = 0;
+  std::uint16_t tl_cat_hook_ = 0;
+  std::uint16_t tl_idle_name_ = 0;
 
   void timeline_begin(Core& c);
   void timeline_end(Core& c, const Thread* t);

@@ -101,6 +101,11 @@ class Thread {
   int last_core_ = -1;
   sim::Time slice_end_ = 0;
   sim::Time spin_start_ = 0;
+  /// Timeline name interned once per (thread, recorder): the scheduler's
+  /// per-slice span emission must not re-hash the name string. Mutable --
+  /// a cache filled from the const accessor path in timeline_end().
+  mutable std::uint16_t tl_name_ = 0;
+  mutable const void* tl_name_src_ = nullptr;
   bool spin_parked_ = false;
   bool wake_permit_ = false;
   sim::Time cpu_time_ = 0;
