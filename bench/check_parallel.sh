@@ -36,4 +36,26 @@ for bench in fig3_locking fig5_concurrent fig6_pioman fig7_waiting \
   done
 done
 
+# Same gate across endpoint counts: fig3 at endpoints=1 and endpoints=4
+# must each be worker-count invariant (the multi-endpoint progress path has
+# its own locking and round-robin order, so it gets its own byte-compare).
+# Endpoint counts are NOT compared against each other -- more endpoints
+# legitimately changes the schedule.
+for eps in 1 4; do
+  echo "== check_parallel: fig3_locking endpoints=$eps =="
+  for w in 1 2; do
+    d="$tmp/ep$eps-w$w"
+    mkdir -p "$d"
+    (cd "$d" && "$build_dir"/bench/fig3_locking --iters=5 --warmup=1 \
+        --simsan=on --partitions=2 --workers=$w --endpoints=$eps \
+        --csv=out.csv --metrics-out=metrics.json > out.txt)
+  done
+  for f in out.csv out.txt metrics.json metrics.json.trace.json; do
+    cmp "$tmp/ep$eps-w1/$f" "$tmp/ep$eps-w2/$f" || {
+      echo "check_parallel: fig3 endpoints=$eps $f differs between workers=1 and workers=2" >&2
+      exit 1
+    }
+  done
+done
+
 echo "check_parallel: workers=1 and workers=2 outputs byte-identical"

@@ -48,6 +48,14 @@ TSAN_OPTIONS="halt_on_error=1" \
 TSAN_OPTIONS="halt_on_error=1" \
   "$tsan_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on \
   --partitions=2 --workers=2 > /dev/null
+# Scalable endpoints under TSan: the per-endpoint suite (including the
+# seeded multi-producer stress test) with real host workers, then fig3 on
+# the multi-endpoint progress path at workers=2.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$tsan_dir"/tests/test_nmad_units --gtest_filter='Endpoints.*:EndpointStress.*'
+TSAN_OPTIONS="halt_on_error=1" \
+  "$tsan_dir"/bench/fig3_locking --iters=5 --warmup=1 --simsan=on \
+  --partitions=2 --workers=2 --endpoints=4 > /dev/null
 # Lock-free trace-ring suite under TSan: real producer/consumer threads on
 # the SPSC ring, the drain thread, the intern table, and the multi-worker
 # traced cluster all cross host-thread boundaries here.

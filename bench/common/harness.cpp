@@ -222,6 +222,8 @@ BenchArgs parse_args(int argc, char** argv) {
       args.partitions = std::atoi(a + 13);
     } else if (std::strncmp(a, "--workers=", 10) == 0) {
       args.workers = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--endpoints=", 12) == 0) {
+      args.endpoints = std::atoi(a + 12);
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       args.legacy_trace = std::strcmp(a + 8, "legacy") == 0;
     } else {
@@ -234,6 +236,7 @@ BenchArgs parse_args(int argc, char** argv) {
 void apply_parallel(const BenchArgs& args, nm::ClusterConfig& cfg) {
   cfg.partitions = args.partitions;
   cfg.workers = args.workers;
+  cfg.endpoints = args.endpoints;
   cfg.legacy_trace = args.legacy_trace;
 }
 

@@ -58,7 +58,7 @@ void write_csv(const std::string& path, const std::vector<std::size_t>& sizes,
 
 /// Tiny argv parser shared by the figure benches: recognizes
 /// --iters=N, --warmup=N, --csv=PATH, --metrics-out=PATH, --simsan=on|off,
-/// --partitions=N, --workers=N, --trace=ring|legacy.
+/// --partitions=N, --workers=N, --endpoints=N, --trace=ring|legacy.
 struct BenchArgs {
   int iters = 200;
   int warmup = 20;
@@ -68,6 +68,10 @@ struct BenchArgs {
   /// are byte-identical for any worker count.
   int partitions = 1;
   int workers = 1;
+  /// nmad endpoints per node (ClusterConfig::endpoints). Default 1 = the
+  /// single shared library instance; figure outputs are byte-identical to
+  /// a build without endpoint support at 1.
+  int endpoints = 1;
   std::string csv;
   /// When set, run one instrumented pingpong after the sweep and write a
   /// metrics + flow-stage report (JSON) here, plus a Perfetto timeline with

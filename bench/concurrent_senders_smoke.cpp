@@ -1,0 +1,101 @@
+// Gate for the scalable-endpoints scaling claim (ISSUE 8 acceptance): with
+// 8 concurrent sender threads per node, one endpoint per thread must beat
+// fine-grained locking on a single shared instance -- the per-endpoint
+// split removes the residual collect/matching/driver lock contention that
+// kFine still pays. Makespans are virtual time on the deterministic clock,
+// so a strict comparison is stable across hosts; the full threads x
+// strategy sweep lives in BM_ConcurrentSenders (BENCH_engine.json).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "nmad/cluster.hpp"
+
+using namespace pm2;
+
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kMsgs = 16;
+
+/// Coarse locking at high oversubscription can starve forever on the
+/// deterministic schedule (see BM_ConcurrentSenders); the cap turns any
+/// such regression at this thread count into a loud FAIL instead of a hang.
+constexpr sim::Time kCap = sim::milliseconds(10);
+
+/// Virtual makespan of kThreads senders on node 0, each blocking-sending
+/// kMsgs 64 B messages on its own tag to a matching receiver on node 1.
+/// Returns kCap if the world failed to complete within the cap.
+sim::Time makespan(nm::LockMode lock, int endpoints) {
+  nm::ClusterConfig cfg;
+  cfg.nm.lock = lock;
+  cfg.endpoints = endpoints;
+  nm::Cluster world(cfg);
+  // Makespan = virtual time the last thread exits, recorded by the threads
+  // themselves: run_until() advances the clock to its deadline even after
+  // the world drains, so engine().now() afterwards is always kCap.
+  sim::Time finished = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const nm::Tag tag = static_cast<nm::Tag>(t);
+    world.spawn(0, [&world, &finished, tag, t] {
+      auto& c = world.core(0);
+      auto* g = world.gate(0, 1);
+      std::vector<std::uint8_t> m(64, static_cast<std::uint8_t>(t));
+      for (int i = 0; i < kMsgs; ++i) {
+        c.send(g, tag, m.data(), m.size());
+      }
+      finished = std::max(finished, world.engine().now());
+    });
+    world.spawn(1, [&world, &finished, tag] {
+      auto& c = world.core(1);
+      auto* g = world.gate(1, 0);
+      std::vector<std::uint8_t> buf(64);
+      for (int i = 0; i < kMsgs; ++i) {
+        c.recv(g, tag, buf.data(), buf.size());
+      }
+      finished = std::max(finished, world.engine().now());
+    });
+  }
+  world.engine().run_until(kCap);
+  const bool done = world.sched(0).live_threads() == 0 &&
+                    world.sched(1).live_threads() == 0;
+  return done ? finished : kCap;
+}
+
+}  // namespace
+
+int main() {
+  const sim::Time coarse = makespan(nm::LockMode::kCoarse, 1);
+  const sim::Time fine = makespan(nm::LockMode::kFine, 1);
+  const sim::Time per_ep = makespan(nm::LockMode::kFine, kThreads);
+  const double msgs = static_cast<double>(kThreads) * kMsgs;
+  auto rate = [msgs](sim::Time t) {
+    return msgs / (static_cast<double>(t) * 1e-9);
+  };
+  std::printf("concurrent senders, %d threads x %d msgs (virtual time):\n",
+              kThreads, kMsgs);
+  std::printf("  coarse        %8.1f us  %10.0f msgs/s\n",
+              static_cast<double>(coarse) / 1e3, rate(coarse));
+  std::printf("  fine          %8.1f us  %10.0f msgs/s\n",
+              static_cast<double>(fine) / 1e3, rate(fine));
+  std::printf("  %d endpoints   %8.1f us  %10.0f msgs/s\n", kThreads,
+              static_cast<double>(per_ep) / 1e3, rate(per_ep));
+  if (fine >= kCap || per_ep >= kCap) {
+    std::fprintf(stderr,
+                 "FAIL: run did not complete within the %lld ns virtual cap "
+                 "(fine=%lld per_ep=%lld)\n",
+                 static_cast<long long>(kCap), static_cast<long long>(fine),
+                 static_cast<long long>(per_ep));
+    return 1;
+  }
+  if (per_ep >= fine) {
+    std::fprintf(stderr,
+                 "FAIL: per-endpoint makespan (%lld ns) not strictly below "
+                 "fine locking (%lld ns) at %d threads\n",
+                 static_cast<long long>(per_ep),
+                 static_cast<long long>(fine), kThreads);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -13,6 +13,12 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.rails.empty()) throw std::invalid_argument("Cluster: no rails");
   if (cfg_.partitions < 1) throw std::invalid_argument("Cluster: partitions < 1");
   if (cfg_.workers < 1) throw std::invalid_argument("Cluster: workers < 1");
+  if (cfg_.endpoints < 1 || cfg_.endpoints > 255) {
+    throw std::invalid_argument("Cluster: endpoints must be in [1, 255]");
+  }
+  // Forward into the per-node core config (a direct nm.endpoints setting
+  // wins only when the cluster-level knob is left at its default).
+  if (cfg_.endpoints > 1) cfg_.nm.endpoints = cfg_.endpoints;
 
   // Partition the engine before anything schedules an event. The lookahead
   // is the minimum virtual time any packet spends between leaving one

@@ -31,6 +31,10 @@ struct ClusterConfig {
   /// One entry per rail; every node gets one NIC per rail.
   std::vector<net::NicParams> rails = {net::NicParams::myri10g()};
   Config nm;
+  /// Scalable endpoints per node (Config::endpoints): every node's core is
+  /// built with this many independent collect/matching/transfer instances.
+  /// 1 (default) is the paper's shared single instance.
+  int endpoints = 1;
   /// Enable PIOMan scheduler hooks (implied by kPiomanHooks /
   /// kIdleCoreOffload progression).
   bool pioman_hooks = false;

@@ -25,14 +25,39 @@ int current_core() {
   auto* ctx = mth::ExecContext::current_or_null();
   return ctx != nullptr ? ctx->core() : 0;
 }
+
+/// Leaf-lock acquisition usable from any execution context: one RMW try
+/// (hook-legal; blocking spins need a thread context). On failure the
+/// caller mutates without the lock -- host-safe, like the contended
+/// fallback in Core::flush_deferred: host execution is single-threaded per
+/// partition, the locks model cost, not safety.
+bool leaf_try(sync::SpinLock& l) { return l.try_lock(); }
 }  // namespace
 
 Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
-    : sched_(sched),
-      cfg_(cfg),
-      name_(std::move(name)),
-      locks_(sched, cfg.lock, kMaxRails),
-      strategy_(Strategy::make(cfg.strategy)) {
+    : sched_(sched), cfg_(cfg), name_(std::move(name)) {
+  if (cfg_.endpoints < 1 || cfg_.endpoints > 255) {
+    throw std::invalid_argument("nm::Core: endpoints must be in [1, 255]");
+  }
+  num_eps_ = cfg_.endpoints;
+  home_partition_ = engine().current_partition();
+  // Endpoints first: endpoint 0's LockSet registers its lock instruments
+  // before the core-level counters below, preserving the historical
+  // registration order of the single-instance layout.
+  eps_.reserve(static_cast<std::size_t>(num_eps_));
+  for (int e = 0; e < num_eps_; ++e) {
+    eps_.push_back(std::make_unique<Endpoint>(
+        sched_, cfg_, e, e == 0 ? name_ : name_ + ".ep" + std::to_string(e),
+        kMaxRails, home_partition_));
+  }
+  if (num_eps_ > 1) {
+    wildcard_lock_ =
+        std::make_unique<sync::SpinLock>(sched_, name_ + "-wildcard");
+    park_lock_ = std::make_unique<sync::SpinLock>(sched_, name_ + "-rxpark");
+    parked_rx_.resize(static_cast<std::size_t>(num_eps_));
+    san_wildcard_.set_name(name_ + ".wildcard");
+    san_parked_.set_name(name_ + ".rxpark");
+  }
   auto& reg = obs::MetricsRegistry::global();
   const std::string& node = sched_.machine().name();
   stats_.sends = reg.counter({"nmad", node, -1, "sends"});
@@ -50,8 +75,6 @@ Core::Core(mth::Scheduler& sched, Config cfg, std::string name)
       reg.counter({"nmad", node, -1, "data.adopt_bytes_copied"});
   m_placed_bytes_ = reg.counter({"nmad", node, -1, "data.placed_bytes"});
   m_copies_per_msg_ = reg.histogram({"nmad", node, -1, "data.copies_per_msg"});
-  src_to_gate_.resize(kMaxRails);
-  san_deferred_.set_name(name_ + ".deferred");
   submit_tasklet_ = std::make_unique<piom::Tasklet>(
       [this](mth::HookContext& hctx) {
         progress_try(hctx, /*submission_only=*/true);
@@ -68,36 +91,58 @@ Driver& Core::add_rail(net::Nic& nic) {
     throw std::length_error("Core::add_rail: too many rails");
   }
   const int index = num_rails();
-  drivers_.push_back(std::make_unique<Driver>(nic, index));
-  Driver* d = drivers_.back().get();
-  rail_ptrs_.push_back(d);
-  d->san_xfer().set_name(name_ + ".rail" + std::to_string(index) + ".xfer");
+  nics_.push_back(&nic);
+  if (num_eps_ > 1) {
+    nic_rx_locks_.push_back(std::make_unique<sync::SpinLock>(
+        sched_, name_ + "-rxpoll" + std::to_string(index)));
+  }
+  for (auto& ep : eps_) {
+    ep->drivers_.push_back(std::make_unique<Driver>(nic, index));
+    Driver* d = ep->drivers_.back().get();
+    ep->rail_ptrs_.push_back(d);
+    d->san_xfer().set_name(ep->name_ + ".rail" + std::to_string(index) +
+                           ".xfer");
+  }
   // A freed tx slot is a progression opportunity: let idle cores know.
   nic.set_tx_notifier([this] {
     if (pioman_) pioman_->notify_new_work();
   });
-  return *d;
+  return *eps_[0]->rail_ptrs_.back();
 }
 
 Gate* Core::connect(int peer_node, std::vector<int> peer_ports) {
   if (static_cast<int>(peer_ports.size()) != num_rails()) {
     throw std::invalid_argument("Core::connect: one peer port per rail");
   }
-  gates_.push_back(std::make_unique<Gate>(peer_node, peer_ports));
-  Gate* g = gates_.back().get();
-  const std::string gate_name = name_ + ".gate" + std::to_string(peer_node);
-  g->san_collect_.set_name(gate_name + ".collect");
-  g->san_matching_.set_name(gate_name + ".matching");
-  by_peer_[peer_node] = g;
-  for (int r = 0; r < num_rails(); ++r) {
-    src_to_gate_[static_cast<std::size_t>(r)][peer_ports[static_cast<std::size_t>(r)]] = g;
+  Gate* g0 = nullptr;
+  for (auto& ep : eps_) {
+    ep->gates_.push_back(std::make_unique<Gate>(peer_node, peer_ports));
+    Gate* g = ep->gates_.back().get();
+    g->endpoint_ = ep->id_;
+    const std::string gate_name = ep->name_ + ".gate" + std::to_string(peer_node);
+    g->san_collect_.set_name(gate_name + ".collect");
+    g->san_matching_.set_name(gate_name + ".matching");
+    ep->by_peer_[peer_node] = g;
+    for (int r = 0; r < num_rails(); ++r) {
+      ep->src_to_gate_[static_cast<std::size_t>(r)]
+                      [peer_ports[static_cast<std::size_t>(r)]] = g;
+    }
+    if (g0 == nullptr) g0 = g;
   }
-  return g;
+  return g0;
 }
 
 Gate* Core::gate_to(int peer_node) const {
-  auto it = by_peer_.find(peer_node);
-  return it == by_peer_.end() ? nullptr : it->second;
+  auto it = eps_[0]->by_peer_.find(peer_node);
+  return it == eps_[0]->by_peer_.end() ? nullptr : it->second;
+}
+
+Gate* Core::gate_on(int e, Gate* gate) const {
+  if (gate->endpoint() == e) return gate;
+  const auto& by_peer = eps_[static_cast<std::size_t>(e)]->by_peer_;
+  auto it = by_peer.find(gate->peer_node());
+  assert(it != by_peer.end() && "gate has no sibling on that endpoint");
+  return it->second;
 }
 
 void Core::attach_pioman(piom::Server* server) {
@@ -106,12 +151,6 @@ void Core::attach_pioman(piom::Server* server) {
 }
 
 void Core::attach_tasklets(piom::TaskletEngine* engine) { tasklets_ = engine; }
-
-Gate* Core::gate_of_src(int rail, int src_port) const {
-  const auto& map = src_to_gate_.at(static_cast<std::size_t>(rail));
-  auto it = map.find(src_port);
-  return it == map.end() ? nullptr : it->second;
-}
 
 // --------------------------------------------------------------------------
 // Requests
@@ -129,6 +168,7 @@ Request* Core::alloc_request() {
   }
   req->id_ = next_req_id_++;
   req->kind_ = ReqKind::kSend;
+  req->ep_ = 0;
   req->gate_ = nullptr;
   req->tag_ = 0;
   req->matched_tag_ = 0;
@@ -154,29 +194,31 @@ Request* Core::alloc_request() {
 void Core::set_flow_tracer(obs::FlowTracer* tracer, int node_id) {
   flow_ = tracer;
   node_id_ = node_id;
-  for (auto& d : drivers_) {
-    if (tracer == nullptr) {
-      d->set_post_observer(nullptr);
-      continue;
-    }
-    d->set_post_observer([this](const StagedPacket& pkt) {
-      if (flow_ == nullptr) return;
-      const sim::Time now = engine().now();
-      const int core = current_core();
-      for (Request* r : pkt.accounted) {
-        if (r->flow_id_ != 0) {
-          flow_->stamp(r->flow_id_, obs::FlowStage::kNicPost, now, node_id_,
-                       core);
-        }
+  for (auto& ep : eps_) {
+    for (auto& d : ep->drivers_) {
+      if (tracer == nullptr) {
+        d->set_post_observer(nullptr);
+        continue;
       }
-    });
+      d->set_post_observer([this](const StagedPacket& pkt) {
+        if (flow_ == nullptr) return;
+        const sim::Time now = engine().now();
+        const int core = current_core();
+        for (Request* r : pkt.accounted) {
+          if (r->flow_id_ != 0) {
+            flow_->stamp(r->flow_id_, obs::FlowStage::kNicPost, now, node_id_,
+                         core);
+          }
+        }
+      });
+    }
   }
 }
 
 void Core::release(Request* req) {
   assert(req != nullptr && !req->released_);
   assert(req->completed() && "release of an incomplete request");
-  send_by_cookie_.erase(req->id_);
+  eps_[static_cast<std::size_t>(req->ep_)]->send_by_cookie_.erase(req->id_);
   req->released_ = true;
   req->owned_send_buf_.clear();
   req->owned_send_buf_.shrink_to_fit();
@@ -223,7 +265,10 @@ Request* Core::isend(Gate* gate, Tag tag, const void* data, std::size_t len) {
 
   Request* req = alloc_request();
   req->send_data_ = static_cast<const std::uint8_t*>(data);
-  return launch_send(ctx, req, gate, tag, len);
+  const int e = endpoint_of(tag);
+  req->ep_ = e;
+  return launch_send(ctx, *eps_[static_cast<std::size_t>(e)], req,
+                     gate_on(e, gate), tag, len);
 }
 
 Request* Core::isend_sg(Gate* gate, Tag tag, const ConstIoSlice* slices,
@@ -237,11 +282,14 @@ Request* Core::isend_sg(Gate* gate, Tag tag, const ConstIoSlice* slices,
   req->send_slices_.assign(slices, slices + count);
   std::size_t len = 0;
   for (std::size_t i = 0; i < count; ++i) len += slices[i].len;
-  return launch_send(ctx, req, gate, tag, len);
+  const int e = endpoint_of(tag);
+  req->ep_ = e;
+  return launch_send(ctx, *eps_[static_cast<std::size_t>(e)], req,
+                     gate_on(e, gate), tag, len);
 }
 
-Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
-                           Tag tag, std::size_t len) {
+Request* Core::launch_send(mth::ExecContext& ctx, Endpoint& ep, Request* req,
+                           Gate* gate, Tag tag, std::size_t len) {
   req->kind_ = ReqKind::kSend;
   req->gate_ = gate;
   req->tag_ = tag;
@@ -249,9 +297,10 @@ Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
   req->total_known_ = true;
   ++active_reqs_;
   stats_.sends.add_always();
+  ep.m_sends_.inc();
 
   const bool rdv = len > cfg_.rdv_threshold;
-  if (rdv) send_by_cookie_[req->id_] = req;
+  if (rdv) ep.send_by_cookie_[req->id_] = req;
 
   const bool inline_submit =
       cfg_.progress != ProgressMode::kTaskletOffload &&
@@ -262,14 +311,14 @@ Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
   // the message to the collect layer, once to transmit it through the
   // network") -- arrange packets within the same collect section.
   std::vector<Strategy::Arranged> staged;
-  locks_.lock(Domain::kCollect);
+  ep.locks_.lock(Domain::kCollect);
   ctx.touch(gate->out_line_);
   SIMSAN_ACCESS(gate->san_collect_);
   req->msg_seq_ = gate->next_send_seq_++;
   req->seq_bound_ = true;
   if (flow_ != nullptr) {
-    req->flow_id_ =
-        obs::FlowTracer::flow_id(node_id_, gate->peer_node(), req->msg_seq_);
+    req->flow_id_ = obs::FlowTracer::flow_id(
+        node_id_, gate->peer_node(), flow_seq(ep.id_, req->msg_seq_));
     flow_->stamp(req->flow_id_, obs::FlowStage::kPost, engine().now(),
                  node_id_, ctx.core());
   }
@@ -292,9 +341,9 @@ Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
     gate->out_list_.push_back(pw);
   }
   if (inline_submit) {
-    strategy_->arrange(cfg_, *gate, rail_ptrs_, ctx, staged);
+    ep.strategy_->arrange(cfg_, *gate, ep.rail_ptrs_, ctx, staged);
   }
-  locks_.unlock(Domain::kCollect);
+  ep.locks_.unlock(Domain::kCollect);
 
   PM2_TRACE("nmad", kDebug, "%s: isend tag %llu len %zu seq %u (%s)",
             name_.c_str(), static_cast<unsigned long long>(tag), len,
@@ -302,9 +351,9 @@ Request* Core::launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
 
   // Transmit phase.
   if (inline_submit) {
-    commit_staged(staged, /*use_try=*/false);
+    commit_staged(ep, staged, /*use_try=*/false);
   } else {
-    kick_submission(ctx);
+    kick_submission(ctx, ep);
   }
   return req;
 }
@@ -324,7 +373,7 @@ Request* Core::isend_owned(Gate* gate, Tag tag,
   return req;
 }
 
-void Core::kick_submission(mth::ExecContext& ctx) {
+void Core::kick_submission(mth::ExecContext& ctx, Endpoint& ep) {
   switch (cfg_.progress) {
     case ProgressMode::kTaskletOffload:
       assert(tasklets_ != nullptr && "kTaskletOffload without tasklet engine");
@@ -337,7 +386,7 @@ void Core::kick_submission(mth::ExecContext& ctx) {
       break;
     default:
       // Inline submission ("transmit through the network", Sec. 3.1).
-      submit_step(ctx, /*use_try=*/false);
+      submit_step(ctx, ep, /*use_try=*/false);
       break;
   }
 }
@@ -350,7 +399,13 @@ Request* Core::irecv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
   Request* req = alloc_request();
   req->recv_buf_ = static_cast<std::uint8_t*>(buf);
   req->capacity_ = capacity;
-  return launch_recv(ctx, req, gate, tag);
+  if (tag == kAnyTag && num_eps_ > 1) {
+    return launch_recv_wildcard(ctx, req, gate);
+  }
+  const int e = endpoint_of(tag);
+  req->ep_ = e;
+  return launch_recv(ctx, *eps_[static_cast<std::size_t>(e)], req,
+                     gate_on(e, gate), tag);
 }
 
 Request* Core::irecv_sg(Gate* gate, Tag tag, const IoSlice* slices,
@@ -365,93 +420,196 @@ Request* Core::irecv_sg(Gate* gate, Tag tag, const IoSlice* slices,
   std::size_t capacity = 0;
   for (std::size_t i = 0; i < count; ++i) capacity += slices[i].len;
   req->capacity_ = capacity;
-  return launch_recv(ctx, req, gate, tag);
+  if (tag == kAnyTag && num_eps_ > 1) {
+    return launch_recv_wildcard(ctx, req, gate);
+  }
+  const int e = endpoint_of(tag);
+  req->ep_ = e;
+  return launch_recv(ctx, *eps_[static_cast<std::size_t>(e)], req,
+                     gate_on(e, gate), tag);
 }
 
-Request* Core::launch_recv(mth::ExecContext& ctx, Request* req, Gate* gate,
-                           Tag tag) {
+bool Core::adopt_unexpected_locked(mth::ExecContext& ctx, Endpoint& ep,
+                                   Gate& gate, Request* req, Tag tag,
+                                   bool* adopted_rdv) {
+  // Adopt the earliest (lowest msg_seq) unexpected message with this tag.
+  auto best = gate.unexpected_.end();
+  for (auto it = gate.unexpected_.begin(); it != gate.unexpected_.end();
+       ++it) {
+    if (tag != kAnyTag && it->tag != tag) continue;
+    if (best == gate.unexpected_.end() || it->msg_seq < best->msg_seq) {
+      best = it;
+    }
+  }
+  if (best == gate.unexpected_.end()) return false;
+
   const std::size_t capacity = req->capacity_;
+  UnexpectedMsg um = std::move(*best);
+  gate.unexpected_.erase(best);
+  req->matched_tag_ = um.tag;
+  req->msg_seq_ = um.msg_seq;
+  req->seq_bound_ = true;
+  req->total_len_ = um.total_len;
+  req->total_known_ = true;
+  if (um.total_len > capacity) {
+    throw std::length_error("nm::Core::irecv: message exceeds buffer (" +
+                            std::to_string(um.total_len) + " > " +
+                            std::to_string(capacity) + ")");
+  }
+  if (um.is_rdv) {
+    // Late receiver: grant the rendezvous now.
+    gate.bound_recvs_[req->msg_seq_] = req;
+    PackWrapper cts;
+    cts.kind = PackWrapper::Kind::kCts;
+    cts.tag = tag;
+    cts.msg_seq = um.msg_seq;
+    cts.cookie = um.rts_cookie;
+    cts.rdv_window = req;  // the window the grant advertises
+    SIMSAN_ACCESS(ep.san_deferred_);
+    ep.deferred_pws_.emplace_back(&gate, cts);
+    *adopted_rdv = true;
+    stats_.rdv_handshakes.add_always();
+  } else {
+    // Scatter the retained unexpected pieces into the user buffer: the
+    // single host copy of the unexpected eager path.
+    if (um.filled > 0) {
+      for (const auto& piece : um.pieces) {
+        req->scatter_into(piece.offset, piece.data, piece.len);
+      }
+      ++req->host_copies_;
+      m_adopt_bytes_copied_.inc(um.filled);
+      m_bytes_copied_.inc(um.filled);
+      m_copies_.inc();
+      ctx.charge(
+          copy_cost(nics_[0]->params().rx_copy_per_byte, um.filled));
+    }
+    if (flow_ != nullptr) {
+      // The bytes reach the user buffer here, not at chunk arrival: the
+      // unexpected dwell is part of the unpack segment by design.
+      req->flow_id_ = obs::FlowTracer::flow_id(
+          gate.peer_node(), node_id_, flow_seq(ep.id_, req->msg_seq_));
+      flow_->stamp(req->flow_id_, obs::FlowStage::kDeliver, engine().now(),
+                   node_id_, ctx.core());
+    }
+    req->filled_ = um.filled;
+    if (req->filled_ == req->total_len_) {
+      complete_request(req);
+    } else {
+      gate.bound_recvs_[req->msg_seq_] = req;  // rest still in flight
+    }
+  }
+  return true;
+}
+
+Request* Core::launch_recv(mth::ExecContext& ctx, Endpoint& ep, Request* req,
+                           Gate* gate, Tag tag) {
   req->kind_ = ReqKind::kRecv;
   req->gate_ = gate;
   req->tag_ = tag;
   ++active_reqs_;
   stats_.recvs.add_always();
+  ep.m_recvs_.inc();
 
   bool adopted_rdv = false;
-  locks_.lock(Domain::kMatching);
+  ep.locks_.lock(Domain::kMatching);
   SIMSAN_ACCESS(gate->san_matching_);
-  // Adopt the earliest (lowest msg_seq) unexpected message with this tag.
-  auto best = gate->unexpected_.end();
-  for (auto it = gate->unexpected_.begin(); it != gate->unexpected_.end();
-       ++it) {
-    if (tag != kAnyTag && it->tag != tag) continue;
-    if (best == gate->unexpected_.end() || it->msg_seq < best->msg_seq) {
-      best = it;
-    }
-  }
-  if (best != gate->unexpected_.end()) {
-    UnexpectedMsg um = std::move(*best);
-    gate->unexpected_.erase(best);
-    req->matched_tag_ = um.tag;
-    req->msg_seq_ = um.msg_seq;
-    req->seq_bound_ = true;
-    req->total_len_ = um.total_len;
-    req->total_known_ = true;
-    if (um.total_len > capacity) {
-      throw std::length_error("nm::Core::irecv: message exceeds buffer (" +
-                              std::to_string(um.total_len) + " > " +
-                              std::to_string(capacity) + ")");
-    }
-    if (um.is_rdv) {
-      // Late receiver: grant the rendezvous now.
-      gate->bound_recvs_[req->msg_seq_] = req;
-      PackWrapper cts;
-      cts.kind = PackWrapper::Kind::kCts;
-      cts.tag = tag;
-      cts.msg_seq = um.msg_seq;
-      cts.cookie = um.rts_cookie;
-      cts.rdv_window = req;  // the window the grant advertises
-      SIMSAN_ACCESS(san_deferred_);
-      deferred_pws_.emplace_back(gate, cts);
-      adopted_rdv = true;
-      stats_.rdv_handshakes.add_always();
-    } else {
-      // Scatter the retained unexpected pieces into the user buffer: the
-      // single host copy of the unexpected eager path.
-      if (um.filled > 0) {
-        for (const auto& piece : um.pieces) {
-          req->scatter_into(piece.offset, piece.data, piece.len);
-        }
-        ++req->host_copies_;
-        m_adopt_bytes_copied_.inc(um.filled);
-        m_bytes_copied_.inc(um.filled);
-        m_copies_.inc();
-        ctx.charge(copy_cost(rail(0).nic().params().rx_copy_per_byte, um.filled));
-      }
-      if (flow_ != nullptr) {
-        // The bytes reach the user buffer here, not at chunk arrival: the
-        // unexpected dwell is part of the unpack segment by design.
-        req->flow_id_ = obs::FlowTracer::flow_id(gate->peer_node(), node_id_,
-                                                 req->msg_seq_);
-        flow_->stamp(req->flow_id_, obs::FlowStage::kDeliver, engine().now(),
-                     node_id_, ctx.core());
-      }
-      req->filled_ = um.filled;
-      if (req->filled_ == req->total_len_) {
-        complete_request(req);
-      } else {
-        gate->bound_recvs_[req->msg_seq_] = req;  // rest still in flight
-      }
-    }
-  } else {
+  if (!adopt_unexpected_locked(ctx, ep, *gate, req, tag, &adopted_rdv)) {
     gate->posted_recvs_.push_back(req);
   }
-  locks_.unlock(Domain::kMatching);
+  ep.locks_.unlock(Domain::kMatching);
 
   if (adopted_rdv) {
-    flush_deferred(/*use_try=*/false);
-    kick_submission(ctx);
+    flush_deferred(ep, /*use_try=*/false);
+    kick_submission(ctx, ep);
   }
+  return req;
+}
+
+Request* Core::launch_recv_wildcard(mth::ExecContext& ctx, Request* req,
+                                    Gate* gate) {
+  req->kind_ = ReqKind::kRecv;
+  req->gate_ = gate;
+  req->tag_ = kAnyTag;
+  ++active_reqs_;
+  stats_.recvs.add_always();
+
+  // Publish first: a message arriving on any endpoint after this instant
+  // sees the wildcard in the shared list, and any message that arrived
+  // before is found by the scan below -- no window where both sides miss
+  // each other.
+  {
+    const bool locked = leaf_try(*wildcard_lock_);
+    if (locked) SIMSAN_ACCESS(san_wildcard_);
+    wildcard_recvs_.push_back(req);
+    if (locked) wildcard_lock_->unlock();
+  }
+
+  for (int e = 0; e < num_eps_; ++e) {
+    Endpoint& ep = *eps_[static_cast<std::size_t>(e)];
+    Gate* g = gate_on(e, gate);
+    bool adopted_rdv = false;
+    bool matched = false;
+    ep.locks_.lock(Domain::kMatching);
+    SIMSAN_ACCESS(g->san_matching_);
+    if (!g->unexpected_.empty()) {
+      // Un-publish our request (matching -> wildcard lock order) before
+      // adopting; if it is gone, an incoming message already claimed it.
+      bool ours = false;
+      {
+        const bool locked = leaf_try(*wildcard_lock_);
+        if (locked) SIMSAN_ACCESS(san_wildcard_);
+        auto it =
+            std::find(wildcard_recvs_.begin(), wildcard_recvs_.end(), req);
+        if (it != wildcard_recvs_.end()) {
+          wildcard_recvs_.erase(it);
+          ours = true;
+        }
+        if (locked) wildcard_lock_->unlock();
+      }
+      if (!ours) {
+        ep.locks_.unlock(Domain::kMatching);
+        return req;
+      }
+      req->ep_ = e;
+      req->gate_ = g;
+      matched = adopt_unexpected_locked(ctx, ep, *g, req, kAnyTag,
+                                        &adopted_rdv);
+      if (!matched) {
+        // Nothing adoptable after all: re-publish and keep scanning.
+        req->ep_ = 0;
+        req->gate_ = gate;
+        const bool locked = leaf_try(*wildcard_lock_);
+        if (locked) SIMSAN_ACCESS(san_wildcard_);
+        wildcard_recvs_.push_back(req);
+        if (locked) wildcard_lock_->unlock();
+      }
+    }
+    ep.locks_.unlock(Domain::kMatching);
+    if (matched) {
+      if (adopted_rdv) {
+        flush_deferred(ep, /*use_try=*/false);
+        kick_submission(ctx, ep);
+      }
+      return req;
+    }
+  }
+  return req;
+}
+
+Request* Core::claim_wildcard_locked(const Gate& gate) {
+  // Unpriced host peek: skip the leaf lock when nothing is parked.
+  if (wildcard_recvs_.empty()) return nullptr;
+  const bool locked = leaf_try(*wildcard_lock_);
+  if (locked) SIMSAN_ACCESS(san_wildcard_);
+  Request* req = nullptr;
+  for (auto it = wildcard_recvs_.begin(); it != wildcard_recvs_.end(); ++it) {
+    if ((*it)->gate_->peer_node() == gate.peer_node()) {
+      req = *it;
+      wildcard_recvs_.erase(it);
+      break;
+    }
+  }
+  if (locked) wildcard_lock_->unlock();
   return req;
 }
 
@@ -478,12 +636,21 @@ void Core::wait(Request* req) {
     return;
   }
 
+  // The endpoint whose locks this wait may block on. With one endpoint this
+  // is the classic whole-library visit; with several, the waiter owns its
+  // request's endpoint and only ever try-locks the others (work stealing),
+  // so two waiters can never hold-and-wait across endpoints.
+  Endpoint& own = *eps_[static_cast<std::size_t>(req->ep_)];
+
   auto progress_once = [&] {
     if (pioman_ != nullptr && cfg_.progress == ProgressMode::kPiomanHooks) {
       // Polling goes through PIOMan (Fig. 6 configuration).
       pioman_->poll_once(ctx);
-    } else {
+    } else if (num_eps_ == 1) {
       progress(ctx);
+    } else {
+      stats_.progress_passes.add_always();
+      progress_multi(ctx, own.id_, /*use_try=*/true);
     }
   };
 
@@ -496,45 +663,45 @@ void Core::wait(Request* req) {
       // The loop is preemptible at timeslice boundaries (with the lock
       // RELEASED around the preemption) so an oversubscribed core cannot
       // be starved by its own spinner.
-      locks_.lock_library();
+      own.locks_.lock_library();
       while (!req->flag_.test()) {
         progress_once();
         if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
-          const int depth = locks_.release_library_all();
+          const int depth = own.locks_.release_library_all();
           sched_.maybe_preempt();
-          locks_.reacquire_library(depth);
+          own.locks_.reacquire_library(depth);
         }
       }
-      locks_.unlock_library();
+      own.locks_.unlock_library();
       return;
     case WaitMode::kPassive: {
       // "The mutex is released before entering a blocking section":
       // progression must come from elsewhere (PIOMan hooks, other threads).
-      const int depth = locks_.release_library_all();
+      const int depth = own.locks_.release_library_all();
       req->flag_.wait_passive();
-      locks_.reacquire_library(depth);
+      own.locks_.reacquire_library(depth);
       return;
     }
     case WaitMode::kFixedSpin: {
       const sim::Time deadline = engine().now() + cfg_.fixed_spin_budget;
-      locks_.lock_library();
+      own.locks_.lock_library();
       while (engine().now() < deadline) {
         if (req->flag_.test()) {
-          locks_.unlock_library();
+          own.locks_.unlock_library();
           return;
         }
         progress_once();
         if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
-          const int depth = locks_.release_library_all();
+          const int depth = own.locks_.release_library_all();
           sched_.maybe_preempt();
-          locks_.reacquire_library(depth);
+          own.locks_.reacquire_library(depth);
         }
       }
-      locks_.unlock_library();
+      own.locks_.unlock_library();
       // Release any enclosing library visit too before blocking.
-      const int depth = locks_.release_library_all();
+      const int depth = own.locks_.release_library_all();
       req->flag_.wait_passive();
-      locks_.reacquire_library(depth);
+      own.locks_.reacquire_library(depth);
       return;
     }
   }
@@ -554,13 +721,38 @@ std::size_t Core::wait_any(const std::vector<Request*>& reqs) {
   assert(std::any_of(reqs.begin(), reqs.end(),
                      [](Request* r) { return r != nullptr; }) &&
          "wait_any with no live requests");
-  locks_.lock_library();
+  if (num_eps_ == 1) {
+    auto& locks = eps_[0]->locks_;
+    locks.lock_library();
+    for (;;) {
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        // Cheap host peek first; one priced read on the hit.
+        if (reqs[i] != nullptr && reqs[i]->flag_.is_set()) {
+          reqs[i]->flag_.test();
+          locks.unlock_library();
+          return i;
+        }
+      }
+      ctx.charge(sched_.costs().spin_retry);
+      if (pioman_ != nullptr && cfg_.progress == ProgressMode::kPiomanHooks) {
+        pioman_->poll_once(ctx);
+      } else {
+        progress(ctx);
+      }
+      if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
+        const int depth = locks.release_library_all();
+        sched_.maybe_preempt();
+        locks.reacquire_library(depth);
+      }
+    }
+  }
+  // Multi-endpoint: the requests may span endpoints, so no single library
+  // lock can cover the loop; progress all endpoints (blocking is safe --
+  // no endpoint lock is held between passes).
   for (;;) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-      // Cheap host peek first; one priced read on the hit.
       if (reqs[i] != nullptr && reqs[i]->flag_.is_set()) {
         reqs[i]->flag_.test();
-        locks_.unlock_library();
         return i;
       }
     }
@@ -571,9 +763,7 @@ std::size_t Core::wait_any(const std::vector<Request*>& reqs) {
       progress(ctx);
     }
     if (sched_.runqueue_length(sched_.current_thread()->core()) > 0) {
-      const int depth = locks_.release_library_all();
       sched_.maybe_preempt();
-      locks_.reacquire_library(depth);
     }
   }
 }
@@ -598,33 +788,85 @@ std::size_t Core::recv(Gate* gate, Tag tag, void* buf, std::size_t capacity) {
 
 bool Core::progress(mth::ExecContext& ctx) {
   stats_.progress_passes.add_always();
-  locks_.lock_library();
-  bool any = flush_deferred(false);
-  any |= submit_step(ctx, false);
-  any |= pump_step(ctx, false);
-  if (resubmit_hint_) {
-    resubmit_hint_ = false;
-    any |= flush_deferred(false);
-    any |= submit_step(ctx, false);
+  if (num_eps_ > 1) {
+    // Thread context holding no endpoint lock: blocking passes over every
+    // endpoint are safe (one endpoint's locks at a time).
+    return progress_multi(ctx, /*own_ep=*/-1, /*use_try=*/false);
   }
-  locks_.unlock_library();
+  Endpoint& ep = *eps_[0];
+  ep.locks_.lock_library();
+  bool any = flush_deferred(ep, false);
+  any |= submit_step(ctx, ep, false);
+  any |= pump_step(ctx, false);
+  if (ep.resubmit_hint_) {
+    ep.resubmit_hint_ = false;
+    any |= flush_deferred(ep, false);
+    any |= submit_step(ctx, ep, false);
+  }
+  ep.locks_.unlock_library();
   return any;
 }
 
 bool Core::progress_try(mth::ExecContext& ctx, bool submission_only) {
   stats_.progress_passes.add_always();
-  if (!locks_.try_lock_library()) return false;
-  bool any = flush_deferred(true);
-  any |= submit_step(ctx, true);
+  if (num_eps_ > 1) {
+    return progress_multi(ctx, /*own_ep=*/-1, /*use_try=*/true,
+                          submission_only);
+  }
+  Endpoint& ep = *eps_[0];
+  if (!ep.locks_.try_lock_library()) return false;
+  bool any = flush_deferred(ep, true);
+  any |= submit_step(ctx, ep, true);
   if (!submission_only) {
     any |= pump_step(ctx, true);
-    if (resubmit_hint_) {
-      resubmit_hint_ = false;
-      any |= flush_deferred(true);
-      any |= submit_step(ctx, true);
+    if (ep.resubmit_hint_) {
+      ep.resubmit_hint_ = false;
+      any |= flush_deferred(ep, true);
+      any |= submit_step(ctx, ep, true);
     }
   }
-  locks_.unlock_library();
+  ep.locks_.unlock_library();
+  return any;
+}
+
+bool Core::progress_ep(mth::ExecContext& ctx, Endpoint& ep, bool blocking,
+                       bool submission_only) {
+  const bool use_try = !blocking;
+  if (blocking) {
+    ep.locks_.lock_library();
+  } else if (!ep.locks_.try_lock_library()) {
+    return false;
+  }
+  bool any = flush_deferred(ep, use_try);
+  any |= submit_step(ctx, ep, use_try);
+  if (!submission_only) {
+    any |= drain_parked(ctx, ep, use_try);
+    if (ep.resubmit_hint_) {
+      ep.resubmit_hint_ = false;
+      any |= flush_deferred(ep, use_try);
+      any |= submit_step(ctx, ep, use_try);
+    }
+  }
+  ep.locks_.unlock_library();
+  return any;
+}
+
+bool Core::progress_multi(mth::ExecContext& ctx, int own_ep, bool use_try,
+                          bool submission_only) {
+  bool any = false;
+  // Deterministic round-robin start so no endpoint is structurally starved
+  // when many contexts drive progression.
+  const int start = rr_;
+  rr_ = (rr_ + 1) % num_eps_;
+  for (int k = 0; k < num_eps_; ++k) {
+    const int e = (start + k) % num_eps_;
+    Endpoint& ep = *eps_[static_cast<std::size_t>(e)];
+    const bool blocking = !use_try || e == own_ep;
+    const bool adv = progress_ep(ctx, ep, blocking, submission_only);
+    if (adv && use_try && e != own_ep) ep.m_steals_.inc();
+    any |= adv;
+  }
+  if (!submission_only) any |= pump_step_multi(ctx, own_ep, use_try);
   return any;
 }
 
@@ -648,47 +890,43 @@ bool Core::pending() const {
 }
 
 bool Core::has_submission_work() const {
-  if (!deferred_pws_.empty()) return true;
-  for (const auto& g : gates_) {
-    if (g->has_outgoing()) return true;
-  }
-  for (const auto& d : drivers_) {
-    if (d->has_pending()) return true;
+  for (const auto& ep : eps_) {
+    if (ep->has_submission_work()) return true;
   }
   return false;
 }
 
-bool Core::flush_deferred(bool use_try) {
+bool Core::flush_deferred(Endpoint& ep, bool use_try) {
   // Unpriced peek: the deque is only ever non-empty after a matching-locked
   // section queued protocol work.
-  if (deferred_pws_.empty()) return false;
+  if (ep.deferred_pws_.empty()) return false;
   std::deque<std::pair<Gate*, PackWrapper>> local;
   if (use_try) {
-    if (!locks_.try_lock(Domain::kMatching)) return false;
+    if (!ep.locks_.try_lock(Domain::kMatching)) return false;
   } else {
-    locks_.lock(Domain::kMatching);
+    ep.locks_.lock(Domain::kMatching);
   }
-  SIMSAN_ACCESS(san_deferred_);
-  local.swap(deferred_pws_);
-  locks_.unlock(Domain::kMatching);
+  SIMSAN_ACCESS(ep.san_deferred_);
+  local.swap(ep.deferred_pws_);
+  ep.locks_.unlock(Domain::kMatching);
   if (local.empty()) return false;
 
   if (use_try) {
-    if (!locks_.try_lock(Domain::kCollect)) {
+    if (!ep.locks_.try_lock(Domain::kCollect)) {
       // Put them back; next pass retries.
-      if (locks_.try_lock(Domain::kMatching)) {
-        SIMSAN_ACCESS(san_deferred_);
-        for (auto& e : local) deferred_pws_.push_back(std::move(e));
-        locks_.unlock(Domain::kMatching);
+      if (ep.locks_.try_lock(Domain::kMatching)) {
+        SIMSAN_ACCESS(ep.san_deferred_);
+        for (auto& e : local) ep.deferred_pws_.push_back(std::move(e));
+        ep.locks_.unlock(Domain::kMatching);
         return false;
       }
       // Extremely contended: re-queue without the lock. Host execution is
       // single-threaded, so this is safe; the locks model cost, not safety.
-      for (auto& e : local) deferred_pws_.push_back(std::move(e));
+      for (auto& e : local) ep.deferred_pws_.push_back(std::move(e));
       return false;
     }
   } else {
-    locks_.lock(Domain::kCollect);
+    ep.locks_.lock(Domain::kCollect);
   }
   for (auto& [gate, pw] : local) {
     SIMSAN_ACCESS(gate->san_collect_);
@@ -698,19 +936,19 @@ bool Core::flush_deferred(bool use_try) {
       gate->out_list_.push_back(pw);
     }
   }
-  locks_.unlock(Domain::kCollect);
+  ep.locks_.unlock(Domain::kCollect);
   return true;
 }
 
-bool Core::submit_step(mth::ExecContext& ctx, bool use_try) {
+bool Core::submit_step(mth::ExecContext& ctx, Endpoint& ep, bool use_try) {
   bool work = false;
-  for (const auto& g : gates_) {
+  for (const auto& g : ep.gates_) {
     if (g->has_outgoing()) {
       work = true;
       break;
     }
   }
-  for (const auto& d : drivers_) {
+  for (const auto& d : ep.drivers_) {
     if (d->has_pending()) work = true;
   }
   if (!work) return false;
@@ -718,24 +956,24 @@ bool Core::submit_step(mth::ExecContext& ctx, bool use_try) {
   std::vector<Strategy::Arranged> staged;
   bool locked_collect;
   if (use_try) {
-    locked_collect = locks_.try_lock(Domain::kCollect);
+    locked_collect = ep.locks_.try_lock(Domain::kCollect);
   } else {
-    locks_.lock(Domain::kCollect);
+    ep.locks_.lock(Domain::kCollect);
     locked_collect = true;
   }
   if (locked_collect) {
-    for (const auto& g : gates_) {
+    for (const auto& g : ep.gates_) {
       if (!g->has_outgoing()) continue;
       ctx.touch(g->out_line_);
-      strategy_->arrange(cfg_, *g, rail_ptrs_, ctx, staged);
+      ep.strategy_->arrange(cfg_, *g, ep.rail_ptrs_, ctx, staged);
     }
-    locks_.unlock(Domain::kCollect);
+    ep.locks_.unlock(Domain::kCollect);
   }
 
-  return commit_staged(staged, use_try) || !staged.empty();
+  return commit_staged(ep, staged, use_try) || !staged.empty();
 }
 
-bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
+bool Core::commit_staged(Endpoint& ep, std::vector<Strategy::Arranged>& staged,
                          bool use_try) {
   bool posted = false;
   // Execute rendezvous placements now, before any wire event can fire: the
@@ -773,14 +1011,14 @@ bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
     on_chunks_wire_done(reqs);
   };
   for (int r = 0; r < num_rails(); ++r) {
-    Driver& drv = *drivers_[static_cast<std::size_t>(r)];
+    Driver& drv = *ep.drivers_[static_cast<std::size_t>(r)];
     const bool has_commits =
         std::any_of(staged.begin(), staged.end(),
                     [r](const auto& a) { return a.rail == r; });
     if (!has_commits && !drv.has_pending()) continue;
-    const Domain d = locks_.driver_domain(r);
+    const Domain d = ep.locks_.driver_domain(r);
     if (use_try) {
-      if (!locks_.try_lock(d)) {
+      if (!ep.locks_.try_lock(d)) {
         // Staged packets for this rail must not be lost: nobody else can
         // be arranging (we popped the wrappers), so append without the
         // lock -- cost model only, host-safe -- and let a later pass drain.
@@ -790,19 +1028,21 @@ bool Core::commit_staged(std::vector<Strategy::Arranged>& staged,
         continue;
       }
     } else {
-      locks_.lock(d);
+      ep.locks_.lock(d);
     }
     SIMSAN_ACCESS(drv.san_xfer());
     for (auto& a : staged) {
       if (a.rail == r) drv.commit(std::move(a.pkt));
     }
     posted |= drv.drain(completer) > 0;
-    locks_.unlock(d);
+    ep.locks_.unlock(d);
   }
   return posted;
 }
 
 bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
+  // Classic single-instance pump: endpoint 0 owns every packet.
+  Endpoint& ep = *eps_[0];
   bool any = false;
   auto completer = [this](std::vector<Request*> reqs) {
     on_chunks_wire_done(reqs);
@@ -811,7 +1051,7 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
     // Blocking path: never hold two domains at once.
     std::vector<std::pair<int, net::Packet>> received;
     for (int r = 0; r < num_rails(); ++r) {
-      Driver& d = *drivers_[static_cast<std::size_t>(r)];
+      Driver& d = *ep.drivers_[static_cast<std::size_t>(r)];
       if (!d.has_pending() && !d.nic().rx_pending()) {
         // Doorbell peek: an empty completion queue is detected with a
         // plain (priced) read, no lock needed -- idle polling passes cost
@@ -819,7 +1059,7 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
         d.nic().poll();
         continue;
       }
-      locks_.lock(locks_.driver_domain(r));
+      ep.locks_.lock(ep.locks_.driver_domain(r));
       SIMSAN_ACCESS(d.san_xfer());
       d.drain(completer);
       for (int k = 0; k < 4; ++k) {
@@ -827,13 +1067,13 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
         if (!pkt) break;
         received.emplace_back(r, std::move(*pkt));
       }
-      locks_.unlock(locks_.driver_domain(r));
+      ep.locks_.unlock(ep.locks_.driver_domain(r));
     }
     if (!received.empty()) {
       any = true;
-      locks_.lock(Domain::kMatching);
-      for (auto& [r, pkt] : received) process_packet_locked(ctx, r, pkt);
-      locks_.unlock(Domain::kMatching);
+      ep.locks_.lock(Domain::kMatching);
+      for (auto& [r, pkt] : received) process_packet_locked(ctx, ep, r, pkt);
+      ep.locks_.unlock(Domain::kMatching);
     }
     return any;
   }
@@ -841,37 +1081,141 @@ bool Core::pump_step(mth::ExecContext& ctx, bool use_try) {
   // Hook path: nested try-locks (deadlock-free) so no packet is popped
   // unless it can be processed.
   for (int r = 0; r < num_rails(); ++r) {
-    Driver& d = *drivers_[static_cast<std::size_t>(r)];
+    Driver& d = *ep.drivers_[static_cast<std::size_t>(r)];
     if (!d.has_pending() && !d.nic().rx_pending()) {
       d.nic().poll();  // doorbell peek (see blocking path)
       continue;
     }
-    if (!locks_.try_lock(locks_.driver_domain(r))) continue;
+    if (!ep.locks_.try_lock(ep.locks_.driver_domain(r))) continue;
     SIMSAN_ACCESS(d.san_xfer());
     d.drain(completer);
     int budget = 4;
     while (budget-- > 0 && d.nic().rx_pending()) {
-      if (!locks_.try_lock(Domain::kMatching)) break;
+      if (!ep.locks_.try_lock(Domain::kMatching)) break;
       auto pkt = d.nic().poll();
       if (pkt) {
-        process_packet_locked(ctx, r, *pkt);
+        process_packet_locked(ctx, ep, r, *pkt);
         any = true;
       }
-      locks_.unlock(Domain::kMatching);
+      ep.locks_.unlock(Domain::kMatching);
     }
-    locks_.unlock(locks_.driver_domain(r));
+    ep.locks_.unlock(ep.locks_.driver_domain(r));
   }
   return any;
 }
 
+bool Core::pump_step_multi(mth::ExecContext& ctx, int own_ep, bool use_try) {
+  bool any = false;
+  auto completer = [this](std::vector<Request*> reqs) {
+    on_chunks_wire_done(reqs);
+  };
+  // Per-endpoint transfer lists: drain tx completions and pending commits.
+  for (int e = 0; e < num_eps_; ++e) {
+    Endpoint& ep = *eps_[static_cast<std::size_t>(e)];
+    const bool blocking = !use_try || e == own_ep;
+    for (int r = 0; r < num_rails(); ++r) {
+      Driver& d = *ep.drivers_[static_cast<std::size_t>(r)];
+      if (!d.has_pending()) continue;
+      const Domain dom = ep.locks_.driver_domain(r);
+      if (blocking) {
+        ep.locks_.lock(dom);
+      } else if (!ep.locks_.try_lock(dom)) {
+        continue;
+      }
+      SIMSAN_ACCESS(d.san_xfer());
+      const bool adv = d.drain(completer) > 0;
+      ep.locks_.unlock(dom);
+      if (adv && use_try && e != own_ep) ep.m_steals_.inc();
+      any |= adv;
+    }
+  }
+  // Shared NIC completion queues: the rx doorbell is atomic MMIO (see
+  // endpoint.hpp), so polling needs no lock; each popped packet is then
+  // demultiplexed to its owning endpoint via the wire endpoint id.
+  for (int r = 0; r < num_rails(); ++r) {
+    net::Nic& nic = *nics_[static_cast<std::size_t>(r)];
+    if (!nic.rx_pending()) {
+      nic.poll();  // doorbell peek: priced like the single-endpoint pump
+      continue;
+    }
+    // The peek above is the lock-free atomic doorbell read; *popping* the
+    // completion queue is not fiber-atomic (poll's cost charge can yield
+    // mid-dequeue), so one poller at a time per NIC. Contended pass: the
+    // rail is already being drained, skip it.
+    sync::SpinLock& rx_lock = *nic_rx_locks_[static_cast<std::size_t>(r)];
+    if (!rx_lock.try_lock()) continue;
+    for (int k = 0; k < 4; ++k) {
+      auto pkt = nic.poll();
+      if (!pkt) break;
+      const int e =
+          static_cast<int>(peek_packet_ep(pkt->payload)) % num_eps_;
+      Endpoint& ep = *eps_[static_cast<std::size_t>(e)];
+      auto park = [&] {
+        const bool locked = leaf_try(*park_lock_);
+        if (locked) SIMSAN_ACCESS(san_parked_);
+        parked_rx_[static_cast<std::size_t>(e)].emplace_back(r,
+                                                             std::move(*pkt));
+        if (locked) park_lock_->unlock();
+      };
+      // FIFO per endpoint: once packets are parked for e, later arrivals
+      // must queue behind them or matching would observe reordering.
+      if (!parked_rx_[static_cast<std::size_t>(e)].empty()) {
+        park();
+        continue;
+      }
+      const bool blocking = !use_try || e == own_ep;
+      bool locked;
+      if (blocking) {
+        ep.locks_.lock(Domain::kMatching);
+        locked = true;
+      } else {
+        locked = ep.locks_.try_lock(Domain::kMatching);
+      }
+      if (!locked) {
+        park();
+        continue;
+      }
+      process_packet_locked(ctx, ep, r, *pkt);
+      ep.locks_.unlock(Domain::kMatching);
+      if (use_try && e != own_ep) ep.m_steals_.inc();
+      any = true;
+    }
+    rx_lock.unlock();
+  }
+  return any;
+}
+
+bool Core::drain_parked(mth::ExecContext& ctx, Endpoint& ep, bool use_try) {
+  if (parked_rx_.empty()) return false;  // single-endpoint core
+  auto& q = parked_rx_[static_cast<std::size_t>(ep.id_)];
+  if (q.empty()) return false;  // unpriced host peek
+  if (use_try) {
+    if (!ep.locks_.try_lock(Domain::kMatching)) return false;
+  } else {
+    ep.locks_.lock(Domain::kMatching);
+  }
+  std::deque<std::pair<int, net::Packet>> local;
+  {
+    const bool locked = leaf_try(*park_lock_);
+    if (locked) SIMSAN_ACCESS(san_parked_);
+    local.swap(q);
+    if (locked) park_lock_->unlock();
+  }
+  for (auto& [r, pkt] : local) process_packet_locked(ctx, ep, r, pkt);
+  ep.locks_.unlock(Domain::kMatching);
+  return !local.empty();
+}
+
 // --------------------------------------------------------------------------
-// Receive path (caller holds the matching domain)
+// Receive path (caller holds the endpoint's matching domain)
 // --------------------------------------------------------------------------
 
-void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
+void Core::process_packet_locked(mth::ExecContext& ctx, Endpoint& ep, int rail,
                                  const net::Packet& pkt) {
   stats_.packets_rx.add_always();
-  Gate* gate = gate_of_src(rail, pkt.src_port);
+  const auto& map = ep.src_to_gate_.at(static_cast<std::size_t>(rail));
+  auto gi = map.find(pkt.src_port);
+  Gate* gate = gi == map.end() ? nullptr : gi->second;
   if (gate == nullptr) {
     PM2_TRACE("nmad", kWarn, "%s: packet from unknown port %d dropped",
               name_.c_str(), pkt.src_port);
@@ -884,7 +1228,7 @@ void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
   void* note = nullptr;
   while (auto h = reader.next(&data, &note)) {
     stats_.chunks_rx.add_always();
-    handle_chunk_locked(ctx, rail, *gate, *h, data, note, backing);
+    handle_chunk_locked(ctx, ep, rail, *gate, *h, data, note, backing);
   }
   if (!reader.ok()) {
     PM2_TRACE("nmad", kError, "%s: malformed packet from port %d",
@@ -892,16 +1236,17 @@ void Core::process_packet_locked(mth::ExecContext& ctx, int rail,
   }
 }
 
-void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
-                               const ChunkHeader& h, const std::uint8_t* data,
-                               void* note, const net::SlabRef* backing) {
+void Core::handle_chunk_locked(mth::ExecContext& ctx, Endpoint& ep, int rail,
+                               Gate& gate, const ChunkHeader& h,
+                               const std::uint8_t* data, void* note,
+                               const net::SlabRef* backing) {
   switch (h.kind) {
     case ChunkKind::kCts: {
       // Sender side: rendezvous granted; queue the bulk data. The CTS note
       // carries the receiving request -- the advertised memory window --
       // so the data chunks can be *placed* with zero host copies.
-      auto it = send_by_cookie_.find(h.cookie);
-      assert(it != send_by_cookie_.end() && "CTS for unknown request");
+      auto it = ep.send_by_cookie_.find(h.cookie);
+      assert(it != ep.send_by_cookie_.end() && "CTS for unknown request");
       Request* req = it->second;
       assert(!req->rdv_granted_);
       req->rdv_granted_ = true;
@@ -919,9 +1264,9 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
       pw.len = req->total_len_;
       pw.cookie = req->id_;
       pw.rdv_window = static_cast<Request*>(note);
-      SIMSAN_ACCESS(san_deferred_);
-      deferred_pws_.emplace_back(req->gate_, pw);
-      resubmit_hint_ = true;
+      SIMSAN_ACCESS(ep.san_deferred_);
+      ep.deferred_pws_.emplace_back(req->gate_, pw);
+      ep.resubmit_hint_ = true;
       return;
     }
     case ChunkKind::kRts: {
@@ -933,6 +1278,13 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
           req = *it;
           gate.posted_recvs_.erase(it);
           break;
+        }
+      }
+      if (req == nullptr && num_eps_ > 1) {
+        req = claim_wildcard_locked(gate);
+        if (req != nullptr) {
+          req->ep_ = ep.id_;
+          req->gate_ = &gate;
         }
       }
       if (req != nullptr) {
@@ -951,9 +1303,9 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         cts.msg_seq = h.msg_seq;
         cts.cookie = h.cookie;
         cts.rdv_window = req;  // the window the grant advertises
-        SIMSAN_ACCESS(san_deferred_);
-        deferred_pws_.emplace_back(&gate, cts);
-        resubmit_hint_ = true;
+        SIMSAN_ACCESS(ep.san_deferred_);
+        ep.deferred_pws_.emplace_back(&gate, cts);
+        ep.resubmit_hint_ = true;
         stats_.rdv_handshakes.add_always();
       } else {
         UnexpectedMsg um;
@@ -979,17 +1331,26 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
           if ((*it)->tag_ == h.tag || (*it)->tag_ == kAnyTag) {
             req = *it;
             gate.posted_recvs_.erase(it);
-            req->matched_tag_ = h.tag;
-            req->msg_seq_ = h.msg_seq;
-            req->seq_bound_ = true;
-            req->total_len_ = h.total_len;
-            req->total_known_ = true;
-            if (h.total_len > req->capacity_) {
-              throw std::length_error("nm: message exceeds receive buffer");
-            }
-            gate.bound_recvs_[h.msg_seq] = req;
             break;
           }
+        }
+        if (req == nullptr && num_eps_ > 1) {
+          req = claim_wildcard_locked(gate);
+          if (req != nullptr) {
+            req->ep_ = ep.id_;
+            req->gate_ = &gate;
+          }
+        }
+        if (req != nullptr) {
+          req->matched_tag_ = h.tag;
+          req->msg_seq_ = h.msg_seq;
+          req->seq_bound_ = true;
+          req->total_len_ = h.total_len;
+          req->total_known_ = true;
+          if (h.total_len > req->capacity_) {
+            throw std::length_error("nm: message exceeds receive buffer");
+          }
+          gate.bound_recvs_[h.msg_seq] = req;
         }
       }
       if (req != nullptr) {
@@ -1032,7 +1393,7 @@ void Core::handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
         }
         um->pieces.push_back(std::move(piece));
         ctx.charge(copy_cost(
-            rail_ptrs_[static_cast<std::size_t>(rail)]->nic().params().rx_copy_per_byte,
+            nics_[static_cast<std::size_t>(rail)]->params().rx_copy_per_byte,
             h.chunk_len));
       }
       um->filled += h.chunk_len;
@@ -1047,8 +1408,8 @@ void Core::deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
                                 const std::uint8_t* data) {
   assert(req->seq_bound_ && req->msg_seq_ == h.msg_seq);
   if (flow_ != nullptr) {
-    req->flow_id_ =
-        obs::FlowTracer::flow_id(gate.peer_node(), node_id_, h.msg_seq);
+    req->flow_id_ = obs::FlowTracer::flow_id(
+        gate.peer_node(), node_id_, flow_seq(gate.endpoint(), h.msg_seq));
     flow_->stamp(req->flow_id_, obs::FlowStage::kDeliver, engine().now(),
                  node_id_, ctx.core());
   }
@@ -1067,7 +1428,7 @@ void Core::deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
     // Matched receives: small chunks are copied out of the rx ring; large
     // ones land in place by DMA and only pay completion handling. The
     // charge is taken either way (the DMA-completion model is unchanged).
-    const auto& p = rail_ptrs_[static_cast<std::size_t>(rail)]->nic().params();
+    const auto& p = nics_[static_cast<std::size_t>(rail)]->params();
     ctx.charge(h.chunk_len <= p.pio_threshold
                    ? copy_cost(p.rx_copy_per_byte, h.chunk_len)
                    : p.rx_match_cost);
@@ -1084,29 +1445,49 @@ void Core::deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
 }
 
 // --------------------------------------------------------------------------
-// Dedicated progression thread (Fig. 8)
+// Dedicated progression thread(s) (Fig. 8)
 // --------------------------------------------------------------------------
 
 mth::Thread* Core::start_poll_thread() {
   assert(poll_thread_ == nullptr && "poll thread already running");
   poll_thread_stop_ = false;
-  mth::ThreadAttrs attrs;
-  attrs.name = name_ + "-poll";
-  attrs.bind_core = cfg_.poll_core;
-  poll_thread_ = sched_.spawn(
-      [this] {
-        auto& ctx = mth::ExecContext::current();
-        while (!poll_thread_stop_) {
-          progress(ctx);  // every pass consumes time; the loop is paced
-        }
-      },
-      attrs);
+  for (int e = 0; e < num_eps_; ++e) {
+    Endpoint& ep = *eps_[static_cast<std::size_t>(e)];
+    mth::ThreadAttrs attrs;
+    attrs.name =
+        e == 0 ? name_ + "-poll" : name_ + "-poll-ep" + std::to_string(e);
+    attrs.bind_core = cfg_.poll_core;
+    if (num_eps_ > 1) {
+      // Each endpoint's progress fiber lives in its endpoint's engine
+      // partition (ThreadAttrs::partition); the single-endpoint core keeps
+      // the scheduler's default placement.
+      attrs.partition = ep.home_partition_;
+    }
+    ep.poll_thread_ = sched_.spawn(
+        [this, e] {
+          auto& ctx = mth::ExecContext::current();
+          if (num_eps_ == 1) {
+            while (!poll_thread_stop_) {
+              progress(ctx);  // every pass consumes time; the loop is paced
+            }
+          } else {
+            // Own this endpoint (blocking), steal from the others (try).
+            while (!poll_thread_stop_) {
+              stats_.progress_passes.add_always();
+              progress_multi(ctx, e, /*use_try=*/true);
+            }
+          }
+        },
+        attrs);
+  }
+  poll_thread_ = eps_[0]->poll_thread_;
   return poll_thread_;
 }
 
 void Core::stop_poll_thread() {
   poll_thread_stop_ = true;
   poll_thread_ = nullptr;
+  for (auto& ep : eps_) ep->poll_thread_ = nullptr;
 }
 
 }  // namespace pm2::nm

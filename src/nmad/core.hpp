@@ -10,13 +10,21 @@
 //   waiting     busy / passive / fixed-spin               (Sec. 3.3)
 //   progression app-driven / PIOMan hooks / dedicated poll thread /
 //               tasklet-offloaded submission / idle-core submission (Sec. 4)
+//   endpoints   1 (the paper's shared instance) .. N scalable endpoints:
+//               the whole collect/matching/transfer state is instantiated
+//               per endpoint (see endpoint.hpp), sends and exact receives
+//               route to endpoint tag % N, and progression steals work
+//               across endpoints with try-locks.
 //
 // Locking discipline: a thread never holds two lock domains at once on the
 // blocking paths (collect -> unlock -> driver -> unlock -> matching), which
 // keeps the coarse mapping (every domain = one global lock) deadlock-free.
 // Hook contexts use try-locks exclusively and may nest them (try-locks
 // cannot deadlock); work that cannot be done under a failed try-lock is
-// left queued for the next pass.
+// left queued for the next pass. With N > 1 endpoints, blocking locks are
+// only ever taken on the endpoint a request owns; every foreign-endpoint
+// access (work stealing, rx demultiplex) is try-lock-only, so no context
+// can wait on two endpoints' locks at once.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +32,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nmad/driver.hpp"
+#include "nmad/endpoint.hpp"
 #include "nmad/gate.hpp"
 #include "obs/metrics.hpp"
 #include "nmad/locking.hpp"
@@ -38,6 +48,7 @@
 #include "pioman/tasklet.hpp"
 #include "simnet/nic.hpp"
 #include "simthread/scheduler.hpp"
+#include "sync/spinlock.hpp"
 
 namespace pm2::obs {
 class FlowTracer;
@@ -55,11 +66,14 @@ class Core final : public piom::PollSource {
 
   // --- world wiring ---------------------------------------------------------
 
-  /// Attach one NIC as rail N (in call order).
+  /// Attach one NIC as rail N (in call order). Every endpoint gets its own
+  /// Driver (transfer list) over the shared NIC; returns endpoint 0's.
   Driver& add_rail(net::Nic& nic);
 
   /// Open a gate to @p peer_node; @p peer_ports gives, per rail, the peer's
   /// fabric port (which is also the src_port of its incoming packets).
+  /// Every endpoint gets its own gate; the endpoint-0 gate is returned as
+  /// the public handle (isend/irecv reroute by tag internally).
   Gate* connect(int peer_node, std::vector<int> peer_ports);
 
   Gate* gate_to(int peer_node) const;
@@ -74,9 +88,18 @@ class Core final : public piom::PollSource {
   mth::Scheduler& scheduler() const { return sched_; }
   sim::Engine& engine() const { return sched_.engine(); }
   const std::string& name() const { return name_; }
-  int num_rails() const { return static_cast<int>(drivers_.size()); }
-  Driver& rail(int i) { return *drivers_.at(static_cast<std::size_t>(i)); }
-  LockSet& locks() { return locks_; }
+  int num_rails() const { return static_cast<int>(nics_.size()); }
+  Driver& rail(int i) { return *eps_[0]->rail_ptrs_.at(static_cast<std::size_t>(i)); }
+  LockSet& locks() { return eps_[0]->locks_; }
+
+  int num_endpoints() const { return num_eps_; }
+  Endpoint& endpoint(int i) { return *eps_.at(static_cast<std::size_t>(i)); }
+
+  /// Endpoint a send / exact-tag receive with @p tag routes to.
+  int endpoint_of(Tag tag) const {
+    return num_eps_ > 1 ? static_cast<int>(tag % static_cast<Tag>(num_eps_))
+                        : 0;
+  }
 
   // --- data movement ----------------------------------------------------------
 
@@ -135,8 +158,10 @@ class Core final : public piom::PollSource {
   bool poll(mth::ExecContext& ctx) override;
   bool pending() const override;
 
-  /// Spawn/stop the dedicated progression thread (kPollThread) on
-  /// config().poll_core.
+  /// Spawn/stop the dedicated progression thread(s) (kPollThread) on
+  /// config().poll_core. With N > 1 endpoints, one fiber per endpoint is
+  /// spawned (each pinned to its endpoint's home partition); the first is
+  /// returned.
   mth::Thread* start_poll_thread();
   void stop_poll_thread();
 
@@ -167,55 +192,102 @@ class Core final : public piom::PollSource {
   int active_requests() const { return active_reqs_; }
 
  private:
-  // Submission pipeline.
-  Request* launch_send(mth::ExecContext& ctx, Request* req, Gate* gate,
-                       Tag tag, std::size_t len);
-  Request* launch_recv(mth::ExecContext& ctx, Request* req, Gate* gate,
-                       Tag tag);
-  void kick_submission(mth::ExecContext& ctx);
-  bool flush_deferred(bool use_try);
-  bool submit_step(mth::ExecContext& ctx, bool use_try);
-  bool commit_staged(std::vector<Strategy::Arranged>& staged, bool use_try);
+  // Submission pipeline (all endpoint-scoped).
+  Request* launch_send(mth::ExecContext& ctx, Endpoint& ep, Request* req,
+                       Gate* gate, Tag tag, std::size_t len);
+  Request* launch_recv(mth::ExecContext& ctx, Endpoint& ep, Request* req,
+                       Gate* gate, Tag tag);
+  Request* launch_recv_wildcard(mth::ExecContext& ctx, Request* req,
+                                Gate* gate);
+  void kick_submission(mth::ExecContext& ctx, Endpoint& ep);
+  bool flush_deferred(Endpoint& ep, bool use_try);
+  bool submit_step(mth::ExecContext& ctx, Endpoint& ep, bool use_try);
+  bool commit_staged(Endpoint& ep, std::vector<Strategy::Arranged>& staged,
+                     bool use_try);
   bool pump_step(mth::ExecContext& ctx, bool use_try);
-  void process_packet_locked(mth::ExecContext& ctx, int rail,
+  bool pump_step_multi(mth::ExecContext& ctx, int own_ep, bool use_try);
+  bool drain_parked(mth::ExecContext& ctx, Endpoint& ep, bool use_try);
+  /// One progression pass over a single endpoint. @p blocking passes may
+  /// block on this endpoint's locks; try passes never block anywhere.
+  bool progress_ep(mth::ExecContext& ctx, Endpoint& ep, bool blocking,
+                   bool submission_only = false);
+  /// Multi-endpoint pass: blocking on @p own_ep (-1 = none), try-lock
+  /// stealing on every other endpoint, starting from the deterministic
+  /// round-robin cursor.
+  bool progress_multi(mth::ExecContext& ctx, int own_ep, bool use_try,
+                      bool submission_only = false);
+  void process_packet_locked(mth::ExecContext& ctx, Endpoint& ep, int rail,
                              const net::Packet& pkt);
-  void handle_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
-                           const ChunkHeader& h, const std::uint8_t* data,
-                           void* note, const net::SlabRef* backing);
+  void handle_chunk_locked(mth::ExecContext& ctx, Endpoint& ep, int rail,
+                           Gate& gate, const ChunkHeader& h,
+                           const std::uint8_t* data, void* note,
+                           const net::SlabRef* backing);
   void deliver_chunk_locked(mth::ExecContext& ctx, int rail, Gate& gate,
                             Request* req, const ChunkHeader& h,
                             const std::uint8_t* data);
+  /// Adopt the earliest matching unexpected message into @p req (caller
+  /// holds @p ep's matching lock). Returns false if nothing matched;
+  /// *adopted_rdv is set when a deferred CTS was queued.
+  bool adopt_unexpected_locked(mth::ExecContext& ctx, Endpoint& ep,
+                               Gate& gate, Request* req, Tag tag,
+                               bool* adopted_rdv);
+  /// Claim a parked wildcard receive for @p gate's peer (caller holds the
+  /// endpoint's matching lock; multi-endpoint mode only).
+  Request* claim_wildcard_locked(const Gate& gate);
   void complete_request(Request* req);
   void on_chunks_wire_done(const std::vector<Request*>& reqs);
   bool has_submission_work() const;
 
+  /// Flow-trace sequence: the endpoint id is folded into the high bits at
+  /// N > 1 (mirroring the wire encoding) so flows on different endpoints
+  /// of one gate never collide. Identity at endpoint 0.
+  static std::uint32_t flow_seq(int ep, std::uint32_t seq) {
+    return (static_cast<std::uint32_t>(ep) << 24) | seq;
+  }
+
+  /// The endpoint-@p e gate for the peer of @p gate (any endpoint's gate
+  /// accepted as the public handle).
+  Gate* gate_on(int e, Gate* gate) const;
+
   Request* alloc_request();
-  Gate* gate_of_src(int rail, int src_port) const;
 
   mth::Scheduler& sched_;
   Config cfg_;
   std::string name_;
-  LockSet locks_;
+  int num_eps_ = 1;
+  int home_partition_ = 0;
 
-  std::vector<std::unique_ptr<Driver>> drivers_;
-  std::vector<Driver*> rail_ptrs_;
-  std::vector<std::unordered_map<int, Gate*>> src_to_gate_;  // per rail
-  std::vector<std::unique_ptr<Gate>> gates_;
-  std::unordered_map<int, Gate*> by_peer_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+  std::vector<net::Nic*> nics_;  ///< rails, shared by all endpoints
 
-  std::unique_ptr<Strategy> strategy_;
   piom::Server* pioman_ = nullptr;
   piom::TaskletEngine* tasklets_ = nullptr;
   std::unique_ptr<piom::Tasklet> submit_tasklet_;
 
-  /// Protocol pack-wrappers produced while holding the matching lock
-  /// (CTS replies, granted rendezvous data); moved into the gates' collect
-  /// lists by the next submission step. Guarded by the matching domain.
-  std::deque<std::pair<Gate*, PackWrapper>> deferred_pws_;
-  san::Shared san_deferred_{"nm.deferred"};  ///< simsan handle for the deque
-  bool resubmit_hint_ = false;
+  // --- multi-endpoint shared state (constructed only at N > 1) -------------
+  /// Wildcard (kAnyTag) receives at N > 1 cannot hash to an endpoint; they
+  /// park here and are claimed by whichever endpoint's matching pass first
+  /// sees an otherwise-unmatched message for their gate. Lock order:
+  /// matching -> wildcard (never the reverse).
+  std::unique_ptr<sync::SpinLock> wildcard_lock_;
+  std::deque<Request*> wildcard_recvs_;
+  san::Shared san_wildcard_{"nm.wildcard"};
+  /// Packets polled off a shared NIC but owned by an endpoint whose
+  /// matching lock a try-pass could not take; drained by a later pass on
+  /// the owning endpoint. Leaf lock (taken with no other domain held, or
+  /// under a matching lock).
+  std::unique_ptr<sync::SpinLock> park_lock_;
+  std::vector<std::deque<std::pair<int, net::Packet>>> parked_rx_;  // per ep
+  san::Shared san_parked_{"nm.rxpark"};
+  /// One poller at a time per shared NIC completion queue (N > 1 only).
+  /// The doorbell peek (rx_pending) models an atomic MMIO read and stays
+  /// lock-free, but popping is not fiber-atomic -- Nic::poll charges its
+  /// cost before dequeuing, and that charge can yield to another poller --
+  /// so a try-only leaf lock serializes pollers; a contended pass just
+  /// skips the rail (someone else is already draining it).
+  std::vector<std::unique_ptr<sync::SpinLock>> nic_rx_locks_;
+  int rr_ = 0;  ///< deterministic round-robin progression cursor
 
-  std::unordered_map<std::uint64_t, Request*> send_by_cookie_;
   std::vector<std::unique_ptr<Request>> req_pool_;
   std::vector<Request*> free_reqs_;
   std::uint64_t next_req_id_ = 1;

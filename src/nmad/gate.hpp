@@ -85,6 +85,11 @@ class Gate {
 
   int peer_node() const { return peer_node_; }
 
+  /// Endpoint this gate belongs to (scalable endpoints): a core with N
+  /// endpoints keeps N gates per peer, one per endpoint, each with its own
+  /// collect/matching state. 0 for the classic single-instance layout.
+  int endpoint() const { return endpoint_; }
+
   /// Destination fabric port on rail @p rail.
   int peer_port(int rail) const {
     return peer_ports_.at(static_cast<std::size_t>(rail));
@@ -100,6 +105,7 @@ class Gate {
 
   int peer_node_;
   std::vector<int> peer_ports_;
+  int endpoint_ = 0;  ///< owning endpoint index (set by Core::connect)
 
   // --- collect layer (protected by the collect lock) ----------------------
   std::deque<PackWrapper> ctrl_list_;  ///< RTS/CTS: scheduled with priority

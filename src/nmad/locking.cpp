@@ -44,16 +44,17 @@ const char* to_string(StrategyKind k) {
   return "?";
 }
 
-LockSet::LockSet(mth::Scheduler& sched, LockMode mode, int num_drivers)
+LockSet::LockSet(mth::Scheduler& sched, LockMode mode, int num_drivers,
+                 const std::string& prefix)
     : sched_(sched),
       mode_(mode),
-      global_(sched, "nm-global"),
-      collect_(sched, "nm-collect"),
-      matching_(sched, "nm-matching") {
+      global_(sched, prefix + "-global"),
+      collect_(sched, prefix + "-collect"),
+      matching_(sched, prefix + "-matching") {
   drivers_.reserve(static_cast<std::size_t>(num_drivers));
   for (int i = 0; i < num_drivers; ++i) {
-    drivers_.push_back(
-        std::make_unique<sync::SpinLock>(sched, "nm-driver" + std::to_string(i)));
+    drivers_.push_back(std::make_unique<sync::SpinLock>(
+        sched, prefix + "-driver" + std::to_string(i)));
   }
 }
 

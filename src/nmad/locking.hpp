@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nmad/types.hpp"
@@ -30,7 +31,13 @@ enum class Domain : int {
 
 class LockSet {
  public:
-  LockSet(mth::Scheduler& sched, LockMode mode, int num_drivers);
+  /// @p prefix names the underlying spinlocks ("<prefix>-global",
+  /// "<prefix>-collect", ...). The default keeps the historical names; a
+  /// core with N > 1 endpoints builds one LockSet per endpoint, suffixing
+  /// the prefix with the endpoint index so lock metrics and simsan reports
+  /// stay distinguishable.
+  LockSet(mth::Scheduler& sched, LockMode mode, int num_drivers,
+          const std::string& prefix = "nm");
 
   LockSet(const LockSet&) = delete;
   LockSet& operator=(const LockSet&) = delete;

@@ -33,6 +33,10 @@ class Request {
   Tag tag() const { return tag_; }
   std::uint64_t id() const { return id_; }
 
+  /// Endpoint this request routes through (tag % Config::endpoints; for
+  /// wildcard receives, bound at match time).
+  int endpoint() const { return ep_; }
+
   /// For receives: the tag of the matched message (differs from tag() only
   /// for kAnyTag receives; valid once matched).
   Tag matched_tag() const { return matched_tag_; }
@@ -84,6 +88,7 @@ class Request {
   sync::CompletionFlag flag_;
   std::uint64_t id_;
   ReqKind kind_ = ReqKind::kSend;
+  int ep_ = 0;  ///< owning endpoint (tag % endpoints; 0 on 1-endpoint cores)
   Gate* gate_ = nullptr;
   Tag tag_ = 0;
   Tag matched_tag_ = 0;

@@ -20,8 +20,9 @@ std::unique_ptr<Strategy> Strategy::make(StrategyKind kind) {
 
 namespace {
 
-ChunkHeader header_for(const PackWrapper& pw, std::size_t chunk_len) {
+ChunkHeader header_for(const PackWrapper& pw, std::size_t chunk_len, int ep) {
   ChunkHeader h;
+  h.ep = static_cast<std::uint8_t>(ep);
   switch (pw.kind) {
     case PackWrapper::Kind::kEager: h.kind = ChunkKind::kEager; break;
     case PackWrapper::Kind::kRts: h.kind = ChunkKind::kRts; break;
@@ -104,7 +105,7 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
   // copy of the eager path (and of rendezvous fallback when no window is
   // known, e.g. raw-injected CTS).
   auto gather_chunk = [&](PackWrapper& pw, std::size_t len) {
-    builder_.add_chunk_begin(header_for(pw, len));
+    builder_.add_chunk_begin(header_for(pw, len, gate.endpoint()));
     for_each_piece(pw, pw.offset, len,
                    [&](const std::uint8_t* p, std::size_t n) {
                      builder_.gather(p, n);
@@ -139,7 +140,7 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
   //    of the memory window an RDMA grant would advertise.
   while (!gate.ctrl_list_.empty()) {
     PackWrapper& pw = gate.ctrl_list_.front();
-    builder_.add_chunk(header_for(pw, 0), nullptr);
+    builder_.add_chunk(header_for(pw, 0, gate.endpoint()), nullptr);
     if (pw.kind == PackWrapper::Kind::kCts) {
       builder_.annotate_last(pw.rdv_window);
     }
@@ -174,7 +175,7 @@ void Strategy::arrange_fifo(const Config& cfg, Gate& gate,
   // window, fall back to gathering real bytes.
   auto emit_rdv_chunk = [&](PackWrapper& pw, std::size_t len) {
     if (pw.rdv_window != nullptr) {
-      builder_.add_chunk_placed(header_for(pw, len));
+      builder_.add_chunk_placed(header_for(pw, len, gate.endpoint()));
       std::size_t msg_off = pw.offset;
       for_each_piece(pw, pw.offset, len,
                      [&](const std::uint8_t* p, std::size_t n) {

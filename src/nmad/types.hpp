@@ -67,6 +67,17 @@ const char* to_string(StrategyKind k);
 /// Per-core (per-node) library configuration.
 struct Config {
   LockMode lock = LockMode::kFine;
+
+  /// Number of independent communication endpoints (channels) this library
+  /// instance exposes -- the scalable-endpoints/VCI design from the
+  /// follow-on literature. 1 (default) is the paper's single shared
+  /// library instance, byte-identical to the historical behavior. With
+  /// N > 1, the collect lists, tag-matching tables and per-rail transfer
+  /// lists are instantiated N times; sends and exact-tag receives route to
+  /// endpoint `tag % endpoints`, so threads using distinct tags share no
+  /// locked state. Must be in [1, 255] (the endpoint id travels in 8 bits
+  /// of the chunk header).
+  int endpoints = 1;
   WaitMode wait = WaitMode::kBusy;
   ProgressMode progress = ProgressMode::kAppDriven;
   StrategyKind strategy = StrategyKind::kAggreg;

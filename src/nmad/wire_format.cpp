@@ -56,9 +56,11 @@ void PacketBuilder::reserve(std::size_t chunks, std::size_t data_bytes) {
 }
 
 void PacketBuilder::put_header(const ChunkHeader& h) {
+  assert(h.msg_seq < ChunkHeader::kMaxSeq && "msg_seq overflows the seq word");
   put<std::uint8_t>(hdr_, static_cast<std::uint8_t>(h.kind));
   put<std::uint64_t>(hdr_, h.tag);
-  put<std::uint32_t>(hdr_, h.msg_seq);
+  put<std::uint32_t>(hdr_, (static_cast<std::uint32_t>(h.ep) << 24) |
+                               (h.msg_seq & (ChunkHeader::kMaxSeq - 1)));
   put<std::uint32_t>(hdr_, h.offset);
   put<std::uint32_t>(hdr_, h.chunk_len);
   put<std::uint32_t>(hdr_, h.total_len);
@@ -183,9 +185,10 @@ std::optional<ChunkHeader> PacketReader::next(const std::uint8_t** data_out,
   if (!ok_ || remaining_ == 0) return std::nullopt;
   ChunkHeader h;
   std::uint8_t kind = 0;
+  std::uint32_t seq_word = 0;
   if (!get(buf_, buf_len_, pos_, &kind) ||
       !get(buf_, buf_len_, pos_, &h.tag) ||
-      !get(buf_, buf_len_, pos_, &h.msg_seq) ||
+      !get(buf_, buf_len_, pos_, &seq_word) ||
       !get(buf_, buf_len_, pos_, &h.offset) ||
       !get(buf_, buf_len_, pos_, &h.chunk_len) ||
       !get(buf_, buf_len_, pos_, &h.total_len) ||
@@ -194,6 +197,8 @@ std::optional<ChunkHeader> PacketReader::next(const std::uint8_t** data_out,
     return std::nullopt;
   }
   h.kind = static_cast<ChunkKind>(kind);
+  h.ep = static_cast<std::uint8_t>(seq_word >> 24);
+  h.msg_seq = seq_word & (ChunkHeader::kMaxSeq - 1);
   if (kind < 1 || kind > 4) {
     ok_ = false;
     return std::nullopt;
@@ -221,6 +226,23 @@ std::optional<ChunkHeader> PacketReader::next(const std::uint8_t** data_out,
   }
   --remaining_;
   return h;
+}
+
+std::uint8_t peek_packet_ep(const net::Payload& payload) {
+  // Layout: u16 chunk_count, then the first header: kind (1) + tag (8) +
+  // seq word (4, endpoint id in the high byte) + ... -- the ep byte sits at
+  // offset 2 + 1 + 8 + 3 = 14 of the header region.
+  constexpr std::size_t kEpByte = 2 + 1 + 8 + 3;
+  const std::uint8_t* buf;
+  std::size_t len;
+  if (payload.flat()) {
+    buf = payload.flat_bytes().data();
+    len = payload.flat_bytes().size();
+  } else {
+    buf = payload.header_bytes();
+    len = payload.header_len();
+  }
+  return len > kEpByte ? buf[kEpByte] : 0;
 }
 
 }  // namespace pm2::nm

@@ -49,10 +49,27 @@ struct ChunkHeader {
   std::uint32_t chunk_len = 0;  ///< bytes of data following this header
   std::uint32_t total_len = 0;  ///< total message length
   std::uint64_t cookie = 0;     ///< rendezvous correlation id
+  /// Originating endpoint (scalable-endpoints routing): the receiver
+  /// demultiplexes the chunk to its endpoint of the same index, so
+  /// rendezvous placements and matching resolve against the owning
+  /// endpoint's state. Packed into the high 8 bits of the msg_seq wire
+  /// word (msg_seq is per-(endpoint, gate) and capped at 2^24), so the
+  /// wire size -- and the whole byte stream at endpoints = 1 -- is
+  /// unchanged.
+  std::uint8_t ep = 0;
 
   /// Serialized size of a chunk header in bytes.
   static constexpr std::size_t kWireSize = 1 + 8 + 4 + 4 + 4 + 4 + 8;
+
+  /// Number of msg_seq values available per (endpoint, gate) direction.
+  static constexpr std::uint32_t kMaxSeq = 1u << 24;
 };
+
+/// Endpoint id of the first chunk of a packet payload without full
+/// decoding (the rx demultiplex peek). All chunks of one packet originate
+/// from the same endpoint (packets are arranged per (endpoint, gate)).
+/// Returns 0 on malformed/empty payloads (the reader reports those).
+std::uint8_t peek_packet_ep(const net::Payload& payload);
 
 /// Incrementally builds a packet payload. Chunk data is gathered once into
 /// a pooled slab (or marked placed, carrying no bytes); headers live in a

@@ -75,8 +75,15 @@ Thread* Scheduler::spawn(ThreadFunc body, ThreadAttrs attrs) {
   }
   // Direct calls from the setup thread (e.g. Core::start_poll_thread)
   // otherwise inherit the caller's partition; the new thread and its
-  // analyzer registration must live where this node lives.
-  sim::Engine::PartitionScope scope(engine(), home_partition_);
+  // analyzer registration must live where this node lives -- or, when the
+  // attrs carry an explicit partition (per-endpoint progress fibers),
+  // where that endpoint lives.
+  const int target_partition =
+      attrs.partition >= 0 ? attrs.partition : home_partition_;
+  if (target_partition >= std::max(1, engine().num_partitions())) {
+    throw std::out_of_range("Scheduler::spawn: partition out of range");
+  }
+  sim::Engine::PartitionScope scope(engine(), target_partition);
   auto owned = std::make_unique<Thread>(*this, next_thread_id_++,
                                         std::move(body), std::move(attrs));
   Thread* t = owned.get();

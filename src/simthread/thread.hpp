@@ -34,6 +34,13 @@ struct ThreadAttrs {
   /// Core to pin the thread to; -1 lets the scheduler place it.
   int bind_core = -1;
   std::size_t stack_size = 256 * 1024;
+  /// Engine partition the thread's events belong to; -1 (default) uses the
+  /// scheduler's home partition (the partition its node was built in).
+  /// Progress fibers spawned on behalf of a specific endpoint pass that
+  /// endpoint's home partition here, so spawn() calls arriving from a
+  /// foreign partition's context (e.g. cross-partition endpoint stealing)
+  /// cannot land the new thread's events in the caller's partition.
+  int partition = -1;
 };
 
 /// Why a fiber gave control back to the scheduler.

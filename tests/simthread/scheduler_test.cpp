@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "simmachine/machine.hpp"
@@ -269,6 +270,33 @@ TEST_F(SchedulerTest, DeterministicAcrossRuns) {
   const auto b = run_once();
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+TEST(SchedulerPartition, SpawnPinsToAttrsPartition) {
+  sim::Engine engine;
+  engine.configure_partitions(2, sim::microseconds(1));
+  mach::Machine machine(engine, "node0", mach::CacheTopology::quad_core(),
+                        mach::CostBook::xeon_quad());
+  Scheduler sched(machine);  // built in partition 0
+  int seen_default = -1, seen_pinned = -1, seen_foreign_caller = -1;
+  sched.spawn([&] { seen_default = engine.current_partition(); });
+  ThreadAttrs pinned;
+  pinned.partition = 1;
+  sched.spawn([&] { seen_pinned = engine.current_partition(); }, pinned);
+  {
+    // A spawn arriving from a foreign partition's scope (e.g. a stolen
+    // progression pass) must still land in the scheduler's home partition,
+    // not the caller's.
+    sim::Engine::PartitionScope scope(engine, 1);
+    sched.spawn([&] { seen_foreign_caller = engine.current_partition(); });
+  }
+  ThreadAttrs bad;
+  bad.partition = 7;
+  EXPECT_THROW(sched.spawn([] {}, bad), std::out_of_range);
+  engine.run();
+  EXPECT_EQ(seen_default, 0);
+  EXPECT_EQ(seen_pinned, 1);
+  EXPECT_EQ(seen_foreign_caller, 0);
 }
 
 }  // namespace
